@@ -1,0 +1,164 @@
+package antsearch_test
+
+// This file contains one testing.B benchmark per reproduction experiment
+// (E1–E10, see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark runs the
+// corresponding experiment at quick scale per iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table/series of the reproduction (at reduced sweep sizes;
+// use cmd/antexperiments -scale standard for the full tables) and reports how
+// long each takes. Additional micro-benchmarks cover the simulation engines
+// themselves, so regressions in the substrate show up independently of the
+// experiment definitions.
+
+import (
+	"context"
+	"testing"
+
+	"antsearch"
+	"antsearch/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration and fails the
+// benchmark if the experiment errors or a reproduction check fails.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exp.Run(ctx, experiments.Config{Seed: uint64(i) + 1, Scale: experiments.Quick})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !out.Pass() {
+			for _, c := range out.Checks {
+				if !c.Pass {
+					b.Logf("%s check %s failed: %s", id, c.Name, c.Detail)
+				}
+			}
+			// A failed shape check on a single seed is reported but does not
+			// abort the benchmark: quick-scale sweeps are intentionally noisy
+			// and the authoritative pass/fail gate is cmd/antexperiments at
+			// standard scale (see EXPERIMENTS.md).
+		}
+	}
+}
+
+// BenchmarkE1KnownKOptimal regenerates E1 (Theorem 3.1): KnownK vs D + D²/k.
+func BenchmarkE1KnownKOptimal(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2RhoApprox regenerates E2 (Corollary 3.2): ρ-approximation cost.
+func BenchmarkE2RhoApprox(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3UniformCompetitive regenerates E3 (Theorem 3.3): O(log^(1+ε) k).
+func BenchmarkE3UniformCompetitive(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4UniformLowerBound regenerates E4 (Theorem 4.1): not O(log k).
+func BenchmarkE4UniformLowerBound(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5ApproxLowerBound regenerates E5 (Theorem 4.2): Ω(ε·log k).
+func BenchmarkE5ApproxLowerBound(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Harmonic regenerates E6 (Theorem 5.1): harmonic threshold.
+func BenchmarkE6Harmonic(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Baselines regenerates E7: baseline comparison.
+func BenchmarkE7Baselines(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Speedup regenerates E8: speed-up curves.
+func BenchmarkE8Speedup(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Overlap regenerates E9: overlap/crowding analysis.
+func BenchmarkE9Overlap(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Ablation regenerates E10: ε and δ ablations.
+func BenchmarkE10Ablation(b *testing.B) { benchExperiment(b, "E10") }
+
+// --- Engine micro-benchmarks --------------------------------------------------
+
+// BenchmarkAnalyticEngineKnownK measures a single analytic-engine run of the
+// optimal algorithm on a mid-sized instance.
+func BenchmarkAnalyticEngineKnownK(b *testing.B) {
+	alg, err := antsearch.KnownK(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	treasure := antsearch.Point{X: 180, Y: 76}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := antsearch.Search(alg, 64, treasure, antsearch.WithSeed(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("treasure not found")
+		}
+	}
+}
+
+// BenchmarkAnalyticEngineUniform measures a single analytic-engine run of the
+// uniform algorithm (the most segment-hungry of the paper's algorithms).
+func BenchmarkAnalyticEngineUniform(b *testing.B) {
+	alg, err := antsearch.Uniform(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	treasure := antsearch.Point{X: 180, Y: 76}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := antsearch.Search(alg, 64, treasure, antsearch.WithSeed(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("treasure not found")
+		}
+	}
+}
+
+// BenchmarkExactEngineKnownK measures the cell-level engine (with coverage
+// recording) on a small instance, the workhorse of E4 and E9.
+func BenchmarkExactEngineKnownK(b *testing.B) {
+	alg, err := antsearch.KnownK(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	treasure := antsearch.Point{X: 20, Y: 11}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := antsearch.SearchWithTrace(alg, 8, treasure, antsearch.WithSeed(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tr.Result.Found {
+			b.Fatal("treasure not found")
+		}
+	}
+}
+
+// BenchmarkMonteCarloEstimate measures the parallel Monte-Carlo estimator used
+// by every experiment cell.
+func BenchmarkMonteCarloEstimate(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := antsearch.EstimateTime(ctx, antsearch.KnownKFactory(), 16, 64,
+			antsearch.WithSeed(uint64(i)), antsearch.WithTrials(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.Found != est.Trials {
+			b.Fatal("known-k failed to find the treasure in some trial")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command antsim simulates a single collaborative search and prints the
+// outcome, optionally with an ASCII heat map of the cells the agents visited.
+//
+// Usage:
+//
+//	antsim -alg uniform -k 16 -d 40 [-eps 0.5] [-delta 0.5] [-seed 7]
+//	       [-trace] [-trace-radius 20] [-max-time N]
+//
+// Supported -alg values: known-k, rho-approx, uniform, harmonic,
+// harmonic-restart, approx-hedge, single-spiral, random-walk, levy,
+// sector-sweep, known-d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"antsearch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("antsim", flag.ContinueOnError)
+	var (
+		algName     = fs.String("alg", "uniform", "algorithm to run")
+		k           = fs.Int("k", 4, "number of agents")
+		d           = fs.Int("d", 32, "treasure distance from the source")
+		eps         = fs.Float64("eps", 0.5, "epsilon parameter (uniform, approx-hedge)")
+		delta       = fs.Float64("delta", 0.5, "delta parameter (harmonic variants)")
+		rho         = fs.Float64("rho", 2, "rho parameter (rho-approx)")
+		mu          = fs.Float64("mu", 2, "mu parameter (levy)")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		maxTime     = fs.Int("max-time", 0, "time cap (0 = engine default)")
+		doTrace     = fs.Bool("trace", false, "run the exact engine and print a visit heat map")
+		traceRadius = fs.Int("trace-radius", 0, "heat map radius (default: D + D/2)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k < 1 || *d < 1 {
+		return fmt.Errorf("need k >= 1 and d >= 1 (got k=%d, d=%d)", *k, *d)
+	}
+
+	alg, err := buildAlgorithm(*algName, *k, *d, *eps, *delta, *rho, *mu)
+	if err != nil {
+		return err
+	}
+	treasure := antsearch.Point{X: *d} // deterministic placement on the axis
+	opts := []antsearch.Option{antsearch.WithSeed(*seed)}
+	if *maxTime > 0 {
+		opts = append(opts, antsearch.WithMaxTime(*maxTime))
+	}
+
+	fmt.Fprintf(out, "algorithm: %s\nagents:    %d\ntreasure:  %v (distance %d)\nseed:      %d\n\n",
+		alg.Name(), *k, treasure, *d, *seed)
+
+	if *doTrace {
+		tr, err := antsearch.SearchWithTrace(alg, *k, treasure, opts...)
+		if err != nil {
+			return err
+		}
+		printResult(out, tr.Result, *k, *d)
+		fmt.Fprintf(out, "distinct cells visited: %d (overlap fraction %.2f)\n\n",
+			tr.Coverage.DistinctNodes(), tr.Coverage.OverlapFraction())
+		radius := *traceRadius
+		if radius <= 0 {
+			radius = *d + *d/2
+		}
+		if radius > 60 {
+			radius = 60 // keep the ASCII map terminal-sized
+		}
+		fmt.Fprintln(out, tr.RenderTrace(radius, treasure))
+		return nil
+	}
+
+	res, err := antsearch.Search(alg, *k, treasure, opts...)
+	if err != nil {
+		return err
+	}
+	printResult(out, res, *k, *d)
+	return nil
+}
+
+func printResult(out io.Writer, res antsearch.Result, k, d int) {
+	if res.Found {
+		fmt.Fprintf(out, "treasure found at time %d by agent %d\n", res.Time, res.Finder)
+	} else {
+		fmt.Fprintf(out, "treasure NOT found within %d steps\n", res.Time)
+	}
+	lb := antsearch.LowerBound(d, k)
+	fmt.Fprintf(out, "lower bound D + D²/k = %.0f, competitive ratio %.2f\n", lb, float64(res.Time)/lb)
+}
+
+// buildAlgorithm maps CLI flags to an algorithm value.
+func buildAlgorithm(name string, k, d int, eps, delta, rho, mu float64) (antsearch.Algorithm, error) {
+	switch name {
+	case "known-k":
+		return antsearch.KnownK(k)
+	case "rho-approx":
+		return antsearch.RhoApprox(k, rho)
+	case "uniform":
+		return antsearch.Uniform(eps)
+	case "harmonic":
+		return antsearch.Harmonic(delta)
+	case "harmonic-restart":
+		return antsearch.HarmonicRestart(delta)
+	case "approx-hedge":
+		return antsearch.ApproxHedge(k, eps)
+	case "single-spiral":
+		return antsearch.SingleSpiral(), nil
+	case "random-walk":
+		return antsearch.RandomWalk(), nil
+	case "levy":
+		return antsearch.LevyFlight(mu)
+	case "sector-sweep":
+		return antsearch.SectorSweep(k)
+	case "known-d":
+		return antsearch.KnownD(d)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

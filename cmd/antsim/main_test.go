@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	err := run([]string{"-alg", "known-k", "-k", "4", "-d", "12", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"known-k", "treasure found at time", "competitive ratio"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	err := run([]string{"-alg", "uniform", "-k", "4", "-d", "8", "-trace", "-trace-radius", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"heat map", "distinct cells visited", "overlap"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+}
+
+func TestRunCapReported(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	err := run([]string{"-alg", "random-walk", "-k", "1", "-d", "40", "-max-time", "300"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NOT found within 300") {
+		t.Errorf("capped run not reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+
+	cases := [][]string{
+		{"-alg", "no-such-algorithm"},
+		{"-k", "0"},
+		{"-d", "0"},
+		{"-alg", "uniform", "-eps", "0"},
+		{"-alg", "levy", "-mu", "0.2"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+func TestBuildAlgorithmCoversAllNames(t *testing.T) {
+	t.Parallel()
+
+	names := []string{"known-k", "rho-approx", "uniform", "harmonic", "harmonic-restart",
+		"approx-hedge", "single-spiral", "random-walk", "levy", "sector-sweep", "known-d"}
+	for _, name := range names {
+		alg, err := buildAlgorithm(name, 4, 16, 0.5, 0.5, 2, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if alg.Name() == "" {
+			t.Errorf("%s: empty algorithm name", name)
+		}
+	}
+	if _, err := buildAlgorithm("bogus", 4, 16, 0.5, 0.5, 2, 2); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

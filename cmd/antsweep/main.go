@@ -1,0 +1,185 @@
+// Command antsweep estimates the expected running time of one or more
+// algorithms over a grid of (k, D) values and prints the results as a table
+// (ASCII, Markdown or CSV), one row per cell. It is the free-form companion
+// to cmd/antexperiments: the experiments have fixed workloads and pass
+// criteria, antsweep lets you explore any slice of the parameter space.
+//
+// Usage:
+//
+//	antsweep -algs known-k,uniform -k 1,4,16,64 -d 32,128 -trials 50
+//	         [-eps 0.5] [-delta 0.5] [-seed 1] [-format ascii] [-max-time N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"antsearch"
+	"antsearch/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "antsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("antsweep", flag.ContinueOnError)
+	var (
+		algList = fs.String("algs", "known-k,uniform", "comma-separated algorithms to sweep")
+		kList   = fs.String("k", "1,4,16", "comma-separated agent counts")
+		dList   = fs.String("d", "32", "comma-separated treasure distances")
+		trials  = fs.Int("trials", 32, "Monte-Carlo trials per cell")
+		eps     = fs.Float64("eps", 0.5, "epsilon (uniform, approx-hedge)")
+		delta   = fs.Float64("delta", 0.5, "delta (harmonic variants)")
+		rho     = fs.Float64("rho", 2, "rho (rho-approx)")
+		mu      = fs.Float64("mu", 2, "mu (levy)")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		maxTime = fs.Int("max-time", 0, "per-trial time cap (0 = engine default)")
+		format  = fs.String("format", "ascii", "output format: ascii, markdown or csv")
+		workers = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ks, err := parseInts(*kList)
+	if err != nil {
+		return fmt.Errorf("-k: %w", err)
+	}
+	ds, err := parseInts(*dList)
+	if err != nil {
+		return fmt.Errorf("-d: %w", err)
+	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be at least 1")
+	}
+
+	tbl := table.New("antsweep", "algorithm", "k", "D", "trials", "success", "mean time",
+		"median time", "D + D²/k", "ratio", "speed-up vs k=1")
+	ctx := context.Background()
+
+	for _, algName := range strings.Split(*algList, ",") {
+		algName = strings.TrimSpace(algName)
+		if algName == "" {
+			continue
+		}
+		for _, d := range ds {
+			timeAtK1 := 0.0
+			for _, k := range ks {
+				factory, err := buildFactory(algName, d, *eps, *delta, *rho, *mu)
+				if err != nil {
+					return err
+				}
+				opts := []antsearch.Option{
+					antsearch.WithSeed(*seed),
+					antsearch.WithTrials(*trials),
+					antsearch.WithWorkers(*workers),
+				}
+				if *maxTime > 0 {
+					opts = append(opts, antsearch.WithMaxTime(*maxTime))
+				}
+				est, err := antsearch.EstimateTime(ctx, factory, k, d, opts...)
+				if err != nil {
+					return fmt.Errorf("%s k=%d D=%d: %w", algName, k, d, err)
+				}
+				if k == ks[0] {
+					timeAtK1 = est.MeanTime()
+				}
+				lb := antsearch.LowerBound(d, k)
+				tbl.MustAddRow(algName, k, d, est.Trials, est.SuccessRate(), est.MeanTime(),
+					est.MedianTime(), lb, est.MeanTime()/lb, antsearch.Speedup(timeAtK1, est.MeanTime()))
+			}
+		}
+	}
+	tbl.AddNote("seed %d, %d trials per cell; speed-up is relative to the first k value listed", *seed, *trials)
+
+	switch strings.ToLower(*format) {
+	case "ascii", "":
+		fmt.Fprint(out, tbl.ASCII())
+	case "markdown", "md":
+		fmt.Fprint(out, tbl.Markdown())
+	case "csv":
+		fmt.Fprint(out, tbl.CSV())
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+// buildFactory maps an algorithm name to the Factory used for the sweep.
+func buildFactory(name string, d int, eps, delta, rho, mu float64) (antsearch.Factory, error) {
+	switch name {
+	case "known-k":
+		return antsearch.KnownKFactory(), nil
+	case "rho-approx":
+		return antsearch.RhoApproxFactory(rho, 1/rho)
+	case "uniform":
+		return antsearch.UniformFactory(eps)
+	case "harmonic-restart":
+		return antsearch.HarmonicRestartFactory(delta)
+	case "approx-hedge":
+		return antsearch.ApproxHedgeFactory(eps)
+	case "single-spiral":
+		return func(int) antsearch.Algorithm { return antsearch.SingleSpiral() }, nil
+	case "random-walk":
+		return func(int) antsearch.Algorithm { return antsearch.RandomWalk() }, nil
+	case "levy":
+		alg, err := antsearch.LevyFlight(mu)
+		if err != nil {
+			return nil, err
+		}
+		return func(int) antsearch.Algorithm { return alg }, nil
+	case "sector-sweep":
+		return func(k int) antsearch.Algorithm {
+			alg, err := antsearch.SectorSweep(max(k, 1))
+			if err != nil {
+				panic(err) // k is clamped to >= 1, so this cannot fail
+			}
+			return alg
+		}, nil
+	case "known-d":
+		alg, err := antsearch.KnownD(d)
+		if err != nil {
+			return nil, err
+		}
+		return func(int) antsearch.Algorithm { return alg }, nil
+	case "harmonic":
+		alg, err := antsearch.Harmonic(delta)
+		if err != nil {
+			return nil, err
+		}
+		return func(int) antsearch.Algorithm { return alg }, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("invalid integer %q", part)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("values must be positive, got %d", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

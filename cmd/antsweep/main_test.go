@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	t.Parallel()
+
+	got, err := parseInts(" 1, 4 ,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 16 {
+		t.Errorf("parseInts = %v", got)
+	}
+	for _, bad := range []string{"", "a,b", "0", "-3", ", ,"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSweepASCII(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	err := run([]string{"-algs", "known-k", "-k", "1,4", "-d", "12", "-trials", "5", "-seed", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"algorithm", "known-k", "speed-up", "D + D²/k"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Two k values → two data rows plus header/separator/note.
+	if rows := strings.Count(text, "known-k"); rows != 2 {
+		t.Errorf("expected 2 data rows, found %d", rows)
+	}
+}
+
+func TestSweepCSVAndMarkdown(t *testing.T) {
+	t.Parallel()
+
+	for _, format := range []string{"csv", "markdown"} {
+		var out bytes.Buffer
+		err := run([]string{"-algs", "single-spiral", "-k", "1", "-d", "8",
+			"-trials", "3", "-format", format}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", format)
+		}
+	}
+}
+
+func TestSweepMultipleAlgorithms(t *testing.T) {
+	t.Parallel()
+
+	var out bytes.Buffer
+	err := run([]string{"-algs", "known-k,known-d,harmonic-restart", "-k", "2", "-d", "10",
+		"-trials", "4", "-max-time", "100000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"known-k", "known-d", "harmonic-restart"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	t.Parallel()
+
+	cases := [][]string{
+		{"-k", "zero"},
+		{"-d", "-5"},
+		{"-trials", "0"},
+		{"-algs", "unknown-strategy"},
+		{"-format", "xml"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+func TestBuildFactoryCoversAllNames(t *testing.T) {
+	t.Parallel()
+
+	names := []string{"known-k", "rho-approx", "uniform", "harmonic-restart", "approx-hedge",
+		"single-spiral", "random-walk", "levy", "sector-sweep", "known-d", "harmonic"}
+	for _, name := range names {
+		f, err := buildFactory(name, 16, 0.5, 0.5, 2, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if f(3) == nil {
+			t.Errorf("%s: factory returned nil", name)
+		}
+	}
+	if _, err := buildFactory("bogus", 16, 0.5, 0.5, 2, 2); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := buildFactory("levy", 16, 0.5, 0.5, 2, 0.1); err == nil {
+		t.Error("invalid levy parameter accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Comparison: a head-to-head of every search strategy in the repository at a
+// fixed treasure distance and growing team sizes — the paper's story in one
+// table. Random walks time out, the lone spiral ignores its teammates, the
+// paper's algorithms track the D + D²/k bound at their respective
+// knowledge-dependent penalties, and the coordinated sweep shows what central
+// planning would buy.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"antsearch"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		distance = 48
+		trials   = 30
+	)
+	teamSizes := []int{1, 4, 16, 64}
+	// Generous cap so that only genuinely hopeless strategies time out.
+	timeCap := 60 * distance * distance
+
+	type entry struct {
+		name    string
+		factory antsearch.Factory
+	}
+	must := func(f antsearch.Factory, err error) antsearch.Factory {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	knownD, err := antsearch.KnownD(distance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levy, err := antsearch.LevyFlight(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategies := []entry{
+		{"random-walk", func(int) antsearch.Algorithm { return antsearch.RandomWalk() }},
+		{"levy-flight", func(int) antsearch.Algorithm { return levy }},
+		{"single-spiral", func(int) antsearch.Algorithm { return antsearch.SingleSpiral() }},
+		{"known-D", func(int) antsearch.Algorithm { return knownD }},
+		{"harmonic-restart", must(antsearch.HarmonicRestartFactory(0.5))},
+		{"uniform", must(antsearch.UniformFactory(0.5))},
+		{"known-k", antsearch.KnownKFactory()},
+		{"sector-sweep (coordinated)", func(k int) antsearch.Algorithm {
+			alg, err := antsearch.SectorSweep(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return alg
+		}},
+	}
+
+	fmt.Printf("treasure at distance %d, %d trials per cell, cap %d steps\n\n", distance, trials, timeCap)
+	header := fmt.Sprintf("%-28s", "strategy \\ k")
+	for _, k := range teamSizes {
+		header += fmt.Sprintf("%16d", k)
+	}
+	fmt.Println(header)
+
+	ctx := context.Background()
+	for _, s := range strategies {
+		row := fmt.Sprintf("%-28s", s.name)
+		for _, k := range teamSizes {
+			est, err := antsearch.EstimateTime(ctx, s.factory, k, distance,
+				antsearch.WithSeed(9), antsearch.WithTrials(trials), antsearch.WithMaxTime(timeCap))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cell := fmt.Sprintf("%.0f", est.MeanTime())
+			if est.SuccessRate() < 1 {
+				cell = fmt.Sprintf("%s (%.0f%%)", cell, 100*est.SuccessRate())
+			}
+			row += fmt.Sprintf("%16s", cell)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\ncells show the mean time to find the treasure (success rate if below 100%).")
+	fmt.Printf("the trivial lower bound D + D²/k for D=%d is: ", distance)
+	for _, k := range teamSizes {
+		fmt.Printf("%.0f (k=%d)  ", antsearch.LowerBound(distance, k), k)
+	}
+	fmt.Println()
+}

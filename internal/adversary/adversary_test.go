@@ -1,0 +1,134 @@
+package adversary
+
+import (
+	"testing"
+
+	"antsearch/internal/grid"
+	"antsearch/internal/xrand"
+)
+
+func TestFixedPoint(t *testing.T) {
+	t.Parallel()
+
+	target := grid.Point{X: 3, Y: -4}
+	s := FixedPoint{Target: target}
+	if s.Distance() != 7 {
+		t.Errorf("Distance = %d, want 7", s.Distance())
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+	for trial := 0; trial < 5; trial++ {
+		if got := s.Place(trial, xrand.NewStream(1, uint64(trial))); got != target {
+			t.Errorf("Place(%d) = %v, want %v", trial, got, target)
+		}
+	}
+}
+
+func TestUniformRing(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewUniformRing(0); err == nil {
+		t.Error("NewUniformRing(0) should fail")
+	}
+	s, err := NewUniformRing(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Distance() != 15 {
+		t.Errorf("Distance = %d", s.Distance())
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+	seen := make(map[grid.Point]bool)
+	for trial := 0; trial < 300; trial++ {
+		p := s.Place(trial, xrand.NewStream(7, uint64(trial)))
+		if p.L1() != 15 {
+			t.Fatalf("placed treasure at distance %d, want 15", p.L1())
+		}
+		seen[p] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d distinct placements in 300 trials; should spread over the ring", len(seen))
+	}
+
+	// Placement is a pure function of (trial, stream).
+	a := s.Place(4, xrand.NewStream(7, 4))
+	b := s.Place(4, xrand.NewStream(7, 4))
+	if a != b {
+		t.Error("placement is not reproducible")
+	}
+}
+
+func TestAxis(t *testing.T) {
+	t.Parallel()
+
+	s := Axis{D: 12}
+	if s.Distance() != 12 {
+		t.Errorf("Distance = %d", s.Distance())
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+	if got := s.Place(3, nil); got != (grid.Point{X: 12}) {
+		t.Errorf("Place = %v, want (12,0)", got)
+	}
+}
+
+func TestWorstOfRing(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewWorstOfRing(0, 4); err == nil {
+		t.Error("NewWorstOfRing(0, 4) should fail")
+	}
+	if _, err := NewWorstOfRing(5, 0); err == nil {
+		t.Error("NewWorstOfRing(5, 0) should fail")
+	}
+	s, err := NewWorstOfRing(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Distance() != 20 {
+		t.Errorf("Distance = %d", s.Distance())
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+
+	// Placements cycle deterministically through the candidates and all lie
+	// on the ring.
+	var first []grid.Point
+	for trial := 0; trial < 4; trial++ {
+		p := s.Place(trial, nil)
+		if p.L1() != 20 {
+			t.Fatalf("candidate %v not at distance 20", p)
+		}
+		first = append(first, p)
+	}
+	distinct := make(map[grid.Point]bool)
+	for _, p := range first {
+		distinct[p] = true
+	}
+	if len(distinct) != 4 {
+		t.Errorf("expected 4 distinct candidates, got %d", len(distinct))
+	}
+	for trial := 4; trial < 8; trial++ {
+		if got := s.Place(trial, nil); got != first[trial-4] {
+			t.Errorf("Place(%d) = %v, want cycle repeat %v", trial, got, first[trial-4])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if s.Candidate(i) != first[i] {
+			t.Errorf("Candidate(%d) = %v, want %v", i, s.Candidate(i), first[i])
+		}
+	}
+
+	one, err := NewWorstOfRing(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := one.Place(7, nil); got != (grid.Point{X: 9}) {
+		t.Errorf("single-candidate strategy = %v, want (9,0)", got)
+	}
+}

@@ -1,0 +1,78 @@
+// Package agent defines the abstractions shared by every search algorithm in
+// this repository: the Searcher (the behaviour of one agent, expressed as a
+// lazy stream of trajectory segments), the Algorithm (a recipe that equips
+// each of the k identical agents with a Searcher), and the Factory (how an
+// experiment hands an algorithm the advice it is entitled to — the exact
+// number of agents, an approximation of it, or nothing at all for uniform
+// algorithms).
+//
+// The separation mirrors the paper's model (Section 2): agents are identical
+// probabilistic machines that cannot communicate; the only thing that may
+// differ between the settings studied is the advice about k given to every
+// agent before the search starts.
+package agent
+
+import (
+	"fmt"
+
+	"antsearch/internal/trajectory"
+	"antsearch/internal/xrand"
+)
+
+// Searcher is the behaviour of a single agent: a lazy, possibly infinite
+// sequence of contiguous trajectory segments starting at the source node.
+//
+// The simulation engine pulls segments one at a time, so uniform algorithms
+// (which formally run forever) are represented without materialising their
+// whole schedule. A Searcher that has nothing more to do (for instance the
+// one-shot harmonic algorithm of Section 5) returns ok == false.
+type Searcher interface {
+	// NextSegment returns the next segment of the agent's trajectory. The
+	// first segment must start at the source; every further segment must
+	// start where the previous one ended.
+	NextSegment() (seg trajectory.Segment, ok bool)
+}
+
+// Algorithm equips each of the identical agents with a Searcher. An algorithm
+// carries its advice about k (if any) in its own fields — it receives only a
+// random stream and the agent's index, never the true number of agents, so
+// the type system keeps uniform algorithms honest.
+type Algorithm interface {
+	// Name returns a short, stable identifier used in tables and traces.
+	Name() string
+	// NewSearcher returns the behaviour of the agent with the given index.
+	// All agents execute the same protocol; the index exists only so that
+	// deterministic baselines (which the paper contrasts with the identical-
+	// agent setting) can be expressed in the same framework.
+	NewSearcher(rng *xrand.Stream, agentIndex int) Searcher
+}
+
+// Factory builds an algorithm for a search instance with k agents. It is the
+// experiment harness's way of modelling advice:
+//
+//   - a non-uniform factory passes k (or an approximation of it) to the
+//     algorithm it returns;
+//   - a uniform factory ignores its argument entirely, so the algorithm it
+//     returns cannot depend on k.
+type Factory func(k int) Algorithm
+
+// SegmentFunc adapts a function to the Searcher interface. It is the
+// idiomatic way to write generator-style searchers without defining a new
+// type for every closure.
+type SegmentFunc func() (trajectory.Segment, bool)
+
+// NextSegment implements Searcher.
+func (f SegmentFunc) NextSegment() (trajectory.Segment, bool) { return f() }
+
+// Done is a Searcher with an empty trajectory. It is returned by algorithms
+// whose agents have finished their (finite) schedule.
+var Done Searcher = SegmentFunc(func() (trajectory.Segment, bool) { return nil, false })
+
+// Validate checks basic sanity of an algorithm construction parameter and is
+// shared by the concrete algorithm constructors.
+func Validate(name string, value int, minimum int) error {
+	if value < minimum {
+		return fmt.Errorf("agent: %s must be at least %d, got %d", name, minimum, value)
+	}
+	return nil
+}

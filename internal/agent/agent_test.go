@@ -1,0 +1,51 @@
+package agent
+
+import (
+	"testing"
+
+	"antsearch/internal/grid"
+	"antsearch/internal/trajectory"
+)
+
+func TestSegmentFunc(t *testing.T) {
+	t.Parallel()
+
+	calls := 0
+	var s Searcher = SegmentFunc(func() (trajectory.Segment, bool) {
+		calls++
+		if calls > 2 {
+			return nil, false
+		}
+		return trajectory.NewWalk(grid.Origin, grid.Origin), true
+	})
+	for i := 0; i < 2; i++ {
+		if _, ok := s.NextSegment(); !ok {
+			t.Fatalf("expected segment on call %d", i)
+		}
+	}
+	if _, ok := s.NextSegment(); ok {
+		t.Error("expected exhaustion after two segments")
+	}
+}
+
+func TestDone(t *testing.T) {
+	t.Parallel()
+
+	if seg, ok := Done.NextSegment(); ok || seg != nil {
+		t.Errorf("Done should produce nothing, got (%v, %v)", seg, ok)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	t.Parallel()
+
+	if err := Validate("k", 3, 1); err != nil {
+		t.Errorf("Validate(3 >= 1) should pass, got %v", err)
+	}
+	if err := Validate("k", 0, 1); err == nil {
+		t.Error("Validate(0 >= 1) should fail")
+	}
+	if err := Validate("d", -2, 0); err == nil {
+		t.Error("Validate(-2 >= 0) should fail")
+	}
+}

@@ -1,0 +1,130 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+
+	"antsearch/internal/grid"
+	"antsearch/internal/trajectory"
+	"antsearch/internal/xrand"
+)
+
+// walkOut is a minimal test algorithm: every agent walks straight east
+// forever in 1-step segments.
+type walkOut struct{}
+
+func (walkOut) Name() string { return "walk-out" }
+
+func (walkOut) NewSearcher(*xrand.Stream, int) Searcher {
+	pos := grid.Origin
+	return SegmentFunc(func() (trajectory.Segment, bool) {
+		next := pos.Step(grid.East)
+		seg := trajectory.NewWalk(pos, next)
+		pos = next
+		return seg, true
+	})
+}
+
+func TestNewDelayedValidation(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewDelayed(nil, 5); err == nil {
+		t.Error("nil inner algorithm should be rejected")
+	}
+	if _, err := NewDelayed(walkOut{}, -1); err == nil {
+		t.Error("negative delay should be rejected")
+	}
+	d, err := NewDelayed(walkOut{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.Name(), "walk-out") || !strings.Contains(d.Name(), "delayed") {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestDelayedPrependsPause(t *testing.T) {
+	t.Parallel()
+
+	d, err := NewDelayed(walkOut{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPause, sawZeroDelay := false, false
+	for seedIdx := 0; seedIdx < 30; seedIdx++ {
+		s := d.NewSearcher(xrand.NewStream(3, uint64(seedIdx)), 0)
+		seg, ok := s.NextSegment()
+		if !ok {
+			t.Fatal("no first segment")
+		}
+		switch first := seg.(type) {
+		case trajectory.Pause:
+			sawPause = true
+			if first.Duration() < 1 || first.Duration() > 20 {
+				t.Errorf("pause duration %d outside [1, 20]", first.Duration())
+			}
+			if first.Start() != grid.Origin {
+				t.Errorf("pause not at the source: %v", first.Start())
+			}
+			// The inner schedule follows, contiguous with the pause.
+			next, ok := s.NextSegment()
+			if !ok || next.Start() != grid.Origin {
+				t.Errorf("inner schedule does not start at the source after the pause")
+			}
+		case trajectory.Walk:
+			// Delay drawn as zero: the inner schedule starts immediately.
+			sawZeroDelay = true
+		default:
+			t.Fatalf("unexpected first segment type %T", seg)
+		}
+	}
+	if !sawPause {
+		t.Error("no searcher received a positive delay in 30 draws")
+	}
+	_ = sawZeroDelay // zero delays are possible but not guaranteed in 30 draws
+
+	// MaxDelay zero degenerates to the inner algorithm exactly.
+	zero, err := NewDelayed(walkOut{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, ok := zero.NewSearcher(xrand.NewStream(1), 0).NextSegment()
+	if !ok {
+		t.Fatal("no segment")
+	}
+	if _, isPause := seg.(trajectory.Pause); isPause {
+		t.Error("MaxDelay = 0 should not emit a pause")
+	}
+}
+
+func TestDelayedFactory(t *testing.T) {
+	t.Parallel()
+
+	if _, err := DelayedFactory(nil, 5); err == nil {
+		t.Error("nil inner factory should be rejected")
+	}
+	if _, err := DelayedFactory(func(int) Algorithm { return walkOut{} }, -2); err == nil {
+		t.Error("negative delay should be rejected")
+	}
+
+	inner := func(int) Algorithm { return walkOut{} }
+	f, err := DelayedFactory(inner, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := f(4)
+	if alg == nil {
+		t.Fatal("factory returned nil")
+	}
+	if _, ok := alg.(*Delayed); !ok {
+		t.Fatalf("factory returned %T, want *Delayed", alg)
+	}
+
+	nilInner, err := DelayedFactory(func(int) Algorithm { return nil }, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nilInner(4) != nil {
+		t.Error("a nil inner algorithm should propagate as nil")
+	}
+}

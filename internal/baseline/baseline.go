@@ -1,0 +1,203 @@
+// Package baseline implements the comparison strategies the paper discusses
+// around its main results:
+//
+//   - SingleSpiral — the classical cow-path/spiral search of Baeza-Yates et
+//     al.: one (or each) agent spirals outward from the source forever. It
+//     finds the treasure in Θ(D²) and gains nothing from extra agents, which
+//     is the "no speed-up" reference point.
+//   - KnownD — the observation of Section 2 that an agent that knows D can
+//     find the treasure in O(D) by walking to distance D and sweeping the
+//     ring of radius D.
+//   - RandomWalk — k independent simple random walks. On the infinite grid
+//     their expected hitting time is infinite even for nearby treasures
+//     (Section 1, Related Work), which experiment E7 demonstrates through
+//     time-outs.
+//   - LevyFlight — Lévy flights with power-law step lengths (Reynolds), the
+//     biology literature's favourite non-communicating search heuristic.
+//   - SectorSweep — a centrally-coordinated, non-identical-agent sweep in the
+//     spirit of López-Ortiz and Sweet: agent i deterministically sweeps the
+//     i-th angular sector of every ring. It shows what explicit coordination
+//     buys over identical probabilistic agents.
+//
+// All baselines implement agent.Algorithm so the same engines and experiment
+// harness run them unchanged.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"antsearch/internal/agent"
+	"antsearch/internal/grid"
+	"antsearch/internal/trajectory"
+	"antsearch/internal/xrand"
+)
+
+// spiralChunk is the number of spiral steps emitted per segment by
+// SingleSpiral. Chunking exists only so the engine can interleave its cap
+// checks; the value has no effect on results.
+const spiralChunk = 1 << 16
+
+// SingleSpiral is the spiral search of the cow-path problem: every agent
+// spirals outward from the source forever. With one agent this is the optimal
+// deterministic strategy when nothing is known about D (time Θ(D²)); with k
+// agents it gains no speed-up because all agents trace the same path.
+type SingleSpiral struct{}
+
+var _ agent.Algorithm = SingleSpiral{}
+
+// Name implements agent.Algorithm.
+func (SingleSpiral) Name() string { return "single-spiral" }
+
+// NewSearcher implements agent.Algorithm.
+func (SingleSpiral) NewSearcher(*xrand.Stream, int) agent.Searcher {
+	next := 0
+	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
+		seg := trajectory.NewSpiral(grid.Origin, next, next+spiralChunk)
+		next += spiralChunk
+		return seg, true
+	})
+}
+
+// SingleSpiralFactory returns a Factory for SingleSpiral (it ignores k).
+func SingleSpiralFactory() agent.Factory {
+	return func(int) agent.Algorithm { return SingleSpiral{} }
+}
+
+// KnownD is the "distance known in advance" reference of Section 2: the agent
+// walks straight to distance D in a random direction and then sweeps the ring
+// of radius D, finding any treasure at distance exactly D within O(D) steps.
+// It is not a general search algorithm (it misses treasures at any other
+// distance); the experiments use it only as the O(D) yardstick.
+type KnownD struct {
+	d int
+}
+
+// NewKnownD returns the baseline for treasures known to be at distance d.
+func NewKnownD(d int) (*KnownD, error) {
+	if err := agent.Validate("d", d, 1); err != nil {
+		return nil, fmt.Errorf("known-d: %w", err)
+	}
+	return &KnownD{d: d}, nil
+}
+
+var _ agent.Algorithm = (*KnownD)(nil)
+
+// Name implements agent.Algorithm.
+func (a *KnownD) Name() string { return fmt.Sprintf("known-d(D=%d)", a.d) }
+
+// NewSearcher implements agent.Algorithm.
+func (a *KnownD) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
+	ringSize := grid.RingSize(a.d)
+	startIdx := rng.IntN(ringSize)
+	emitted := 0 // number of ring-arc segments emitted so far
+	pos := grid.Origin
+	started := false
+	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
+		if !started {
+			started = true
+			target := grid.RingPoint(a.d, startIdx)
+			pos = target
+			return trajectory.NewWalk(grid.Origin, target), true
+		}
+		if emitted >= ringSize {
+			return nil, false
+		}
+		nextIdx := (startIdx + emitted + 1) % ringSize
+		next := grid.RingPoint(a.d, nextIdx)
+		seg := trajectory.NewWalk(pos, next)
+		pos = next
+		emitted++
+		return seg, true
+	})
+}
+
+// KnownDFactory returns a Factory for KnownD; it ignores k (the baseline's
+// advantage is knowing D, not k).
+func KnownDFactory(d int) (agent.Factory, error) {
+	alg, err := NewKnownD(d)
+	if err != nil {
+		return nil, err
+	}
+	return func(int) agent.Algorithm { return alg }, nil
+}
+
+// RandomWalk is k independent simple random walks on the grid. The expected
+// hitting time of any fixed node is infinite on the infinite two-dimensional
+// grid, so experiments cap it and report time-outs; it exists to demonstrate
+// why the memoryless strategy that works so well on expanders fails here.
+type RandomWalk struct{}
+
+var _ agent.Algorithm = RandomWalk{}
+
+// Name implements agent.Algorithm.
+func (RandomWalk) Name() string { return "random-walk" }
+
+// NewSearcher implements agent.Algorithm.
+func (RandomWalk) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
+	pos := grid.Origin
+	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
+		next := pos.Step(rng.Direction())
+		seg := trajectory.NewWalk(pos, next)
+		pos = next
+		return seg, true
+	})
+}
+
+// RandomWalkFactory returns a Factory for RandomWalk (it ignores k).
+func RandomWalkFactory() agent.Factory {
+	return func(int) agent.Algorithm { return RandomWalk{} }
+}
+
+// LevyFlight performs Lévy flights: repeatedly choose a uniformly random
+// heading and a flight length drawn from a power law P(ℓ) ∝ ℓ^-mu, then walk
+// in (the grid discretisation of) that direction for ℓ steps. Reynolds
+// argues such flights, with mu close to 1, are favoured by cooperatively
+// foraging insects because straight legs reduce overlap between searchers.
+type LevyFlight struct {
+	mu float64
+}
+
+// NewLevyFlight returns the Lévy flight baseline with tail exponent mu,
+// which must lie in (1, 3].
+func NewLevyFlight(mu float64) (*LevyFlight, error) {
+	if mu <= 1 || mu > 3 {
+		return nil, fmt.Errorf("levy-flight: mu must be in (1, 3], got %v", mu)
+	}
+	return &LevyFlight{mu: mu}, nil
+}
+
+var _ agent.Algorithm = (*LevyFlight)(nil)
+
+// Mu returns the tail exponent.
+func (a *LevyFlight) Mu() float64 { return a.mu }
+
+// Name implements agent.Algorithm.
+func (a *LevyFlight) Name() string { return fmt.Sprintf("levy-flight(mu=%.2g)", a.mu) }
+
+// NewSearcher implements agent.Algorithm.
+func (a *LevyFlight) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
+	pos := grid.Origin
+	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
+		length := rng.PowerLawRadius(a.mu - 1)
+		theta := 2 * math.Pi * rng.Float64()
+		dx := int(math.Round(float64(length) * math.Cos(theta)))
+		dy := int(math.Round(float64(length) * math.Sin(theta)))
+		if dx == 0 && dy == 0 {
+			dx = 1
+		}
+		next := pos.Add(grid.Point{X: dx, Y: dy})
+		seg := trajectory.NewWalk(pos, next)
+		pos = next
+		return seg, true
+	})
+}
+
+// LevyFlightFactory returns a Factory for LevyFlight (it ignores k).
+func LevyFlightFactory(mu float64) (agent.Factory, error) {
+	alg, err := NewLevyFlight(mu)
+	if err != nil {
+		return nil, err
+	}
+	return func(int) agent.Algorithm { return alg }, nil
+}

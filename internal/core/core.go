@@ -1,0 +1,131 @@
+// Package core implements the search algorithms that are the paper's primary
+// contribution (Feinerman, Korman, Lotker, Sereni, "Collaborative Search on
+// the Plane without Communication", PODC 2012):
+//
+//   - KnownK — the non-uniform algorithm of Theorem 3.1 (Algorithm 3 in the
+//     appendix), which achieves the optimal expected time O(D + D²/k) when
+//     the agents know k.
+//   - RhoApprox — the constant-approximation variant of Corollary 3.2: each
+//     agent runs KnownK with its own ρ-approximation of k, paying at most a
+//     ρ² factor.
+//   - Uniform — Algorithm 1 (Theorem 3.3), the uniform (k-oblivious) search
+//     that is O(log^(1+ε) k)-competitive.
+//   - Harmonic — Algorithm 2 (Theorem 5.1), the extremely simple one-shot
+//     algorithm driven by the heavy-tailed distribution p(u) ∝ 1/d(u)^(2+δ).
+//   - HarmonicRestart — a natural extension (not in the paper) that repeats
+//     the harmonic sortie until the treasure is found, giving a uniform
+//     algorithm with finite expected time for every k.
+//
+// All algorithms are expressed as agent.Algorithm values: identical agents,
+// no communication, randomness only through the per-agent stream handed to
+// NewSearcher. Advice about k (exact value, ρ-approximation, or nothing) is
+// captured at construction time, matching the paper's model of "input given
+// to every agent before the search starts".
+package core
+
+import (
+	"math"
+
+	"antsearch/internal/agent"
+	"antsearch/internal/grid"
+	"antsearch/internal/trajectory"
+)
+
+// maxSpiralSteps bounds the length of a single spiral search segment. The
+// algorithms' schedules grow geometrically, so without a bound a simulation
+// that is about to be cut off by its time cap could still ask for a segment
+// whose length overflows int. The bound is far larger than any cap used by
+// the experiments (2^40 ≈ 10^12 steps).
+const maxSpiralSteps = 1 << 40
+
+// maxBallRadius bounds the radius of the ball from which sortie targets are
+// drawn, for the same reason.
+const maxBallRadius = 1 << 30
+
+// clampSteps truncates a (possibly huge) floating-point step count to the
+// supported range.
+func clampSteps(v float64) int {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > maxSpiralSteps {
+		return maxSpiralSteps
+	}
+	return int(v)
+}
+
+// clampRadius truncates a (possibly huge) floating-point radius to the
+// supported range, never below zero.
+func clampRadius(v float64) int {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > maxBallRadius {
+		return maxBallRadius
+	}
+	return int(v)
+}
+
+// sortie describes one "go somewhere, search locally, come home" excursion:
+// the building block shared by all the paper's algorithms (basic procedures
+// 1–4 of Section 2).
+type sortie struct {
+	target      grid.Point
+	spiralSteps int
+}
+
+// sortieSearcher turns a stream of sorties into a stream of trajectory
+// segments (walk out, spiral, walk back). It implements agent.Searcher.
+type sortieSearcher struct {
+	// next produces the parameters of the next sortie, or ok == false when
+	// the agent's schedule is over.
+	next    func() (sortie, bool)
+	pending []trajectory.Segment
+}
+
+// newSortieSearcher returns a Searcher that repeatedly asks next for the next
+// sortie and expands it into segments.
+func newSortieSearcher(next func() (sortie, bool)) *sortieSearcher {
+	return &sortieSearcher{next: next}
+}
+
+// NextSegment implements agent.Searcher.
+func (s *sortieSearcher) NextSegment() (trajectory.Segment, bool) {
+	for len(s.pending) == 0 {
+		so, ok := s.next()
+		if !ok {
+			return nil, false
+		}
+		s.pending = expandSortie(so)
+	}
+	seg := s.pending[0]
+	s.pending = s.pending[1:]
+	return seg, true
+}
+
+// expandSortie converts a sortie into its explicit segments. Sorties whose
+// target is the source itself skip the (empty) walks, and sorties with a
+// zero-length spiral skip the spiral, so that engines never receive
+// zero-duration segments unless the whole sortie is degenerate.
+func expandSortie(so sortie) []trajectory.Segment {
+	segs := make([]trajectory.Segment, 0, 3)
+	if so.target != grid.Origin {
+		segs = append(segs, trajectory.NewWalk(grid.Origin, so.target))
+	}
+	spiral := trajectory.NewSpiralSearch(so.target, so.spiralSteps)
+	segs = append(segs, spiral)
+	if spiral.End() != grid.Origin {
+		segs = append(segs, trajectory.NewWalk(spiral.End(), grid.Origin))
+	}
+	return segs
+}
+
+// compile-time interface checks for the algorithm types defined in this
+// package.
+var (
+	_ agent.Algorithm = (*KnownK)(nil)
+	_ agent.Algorithm = (*RhoApprox)(nil)
+	_ agent.Algorithm = (*Uniform)(nil)
+	_ agent.Algorithm = (*Harmonic)(nil)
+	_ agent.Algorithm = (*HarmonicRestart)(nil)
+)

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"antsearch/internal/agent"
+	"antsearch/internal/xrand"
+)
+
+// Uniform is Algorithm 1 of the paper (Theorem 3.3): a uniform search
+// algorithm — the agents receive no information whatsoever about k — that is
+// O(log^(1+ε) k)-competitive for every fixed ε > 0.
+//
+// Every agent runs the following triple loop forever:
+//
+//	for big-stage ℓ = 0, 1, 2, ...:
+//	    for stage i = 0, ..., ℓ:
+//	        for phase j = 0, ..., i:
+//	            D_{i,j} = sqrt(2^(i+j) / j^(1+ε))
+//	            go to a node chosen uniformly at random in B(D_{i,j})
+//	            perform a spiral search for t_{i,j} = 2^(i+2) / j^(1+ε) steps
+//	            return to the source
+//
+// Intuitively, phase j of stage i is tuned for the case where the number of
+// agents is about 2^j and the treasure is at distance about D_{i,j}; because
+// the agent does not know which case it is in, it hedges over all of them and
+// pays a polylogarithmic overhead.
+//
+// The paper writes j^(1+ε) with j starting at 0; as is standard, the j = 0
+// term is interpreted with max(j, 1), which changes no asymptotic statement.
+type Uniform struct {
+	epsilon float64
+}
+
+// NewUniform returns the uniform algorithm with hedging exponent 1+epsilon.
+// Theorem 3.3 requires epsilon > 0; Theorem 4.1 shows why epsilon = 0 is
+// unattainable.
+func NewUniform(epsilon float64) (*Uniform, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("uniform: epsilon must be positive, got %v", epsilon)
+	}
+	return &Uniform{epsilon: epsilon}, nil
+}
+
+// MustUniform is NewUniform for statically correct arguments; it panics on
+// error.
+func MustUniform(epsilon float64) *Uniform {
+	a, err := NewUniform(epsilon)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Epsilon returns the algorithm's hedging parameter.
+func (a *Uniform) Epsilon() float64 { return a.epsilon }
+
+// Name implements agent.Algorithm.
+func (a *Uniform) Name() string { return fmt.Sprintf("uniform(eps=%.2g)", a.epsilon) }
+
+// NewSearcher implements agent.Algorithm.
+func (a *Uniform) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
+	// Loop state: big-stage ell >= 0, stage i in [0, ell], phase j in [0, i].
+	// j is incremented before use, starting from -1 so that the first sortie
+	// is (ell=0, i=0, j=0).
+	ell, i, j := 0, 0, -1
+	return newSortieSearcher(func() (sortie, bool) {
+		j++
+		if j > i {
+			i++
+			j = 0
+			if i > ell {
+				ell++
+				i = 0
+			}
+		}
+		jEff := math.Max(float64(j), 1)
+		denom := math.Pow(jEff, 1+a.epsilon)
+		radius := clampRadius(math.Sqrt(math.Pow(2, float64(i+j)) / denom))
+		steps := clampSteps(math.Pow(2, float64(i+2)) / denom)
+		return sortie{
+			target:      rng.UniformBallPoint(radius),
+			spiralSteps: steps,
+		}, true
+	})
+}
+
+// UniformFactory returns a Factory for the uniform algorithm: the returned
+// factory ignores k entirely, which is exactly what "uniform" means.
+func UniformFactory(epsilon float64) (agent.Factory, error) {
+	alg, err := NewUniform(epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return func(int) agent.Algorithm { return alg }, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"antsearch/internal/core"
+	"antsearch/internal/stats"
+	"antsearch/internal/table"
+)
+
+// experimentE1 reproduces Theorem 3.1: with k known, the KnownK algorithm
+// runs in expected time O(D + D²/k), i.e. its competitive ratio against the
+// trivial lower bound D + D²/k is bounded by a constant, uniformly in D and
+// k.
+func experimentE1() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "KnownK achieves O(D + D²/k) when k is known",
+		Claim: "Theorem 3.1 (optimal non-uniform search)",
+		Run:   runE1,
+	}
+}
+
+func runE1(ctx context.Context, cfg Config) (*Outcome, error) {
+	distances := pick(cfg, []int{16, 32, 64}, []int{16, 32, 64, 128, 256}, []int{16, 32, 64, 128, 256, 512})
+	agents := pick(cfg, []int{1, 4, 16}, []int{1, 4, 16, 64}, []int{1, 4, 16, 64, 256})
+	trials := pick(cfg, 12, 60, 200)
+
+	out := &Outcome{}
+	tbl := table.New("E1: KnownK expected time vs the D + D²/k lower bound",
+		"D", "k", "mean time", "D + D²/k", "ratio")
+
+	maxRatio, minRatio := 0.0, 1e18
+	// ratioByK[k] collects the ratios across D, used for the flatness check.
+	ratioByK := make(map[int][]float64)
+	// timesForSlope collects (D, time) for k = 1 to fit the quadratic
+	// single-agent exponent.
+	var slopeD, slopeT []float64
+
+	for _, k := range agents {
+		for _, d := range distances {
+			label := fmt.Sprintf("E1/k=%d/D=%d", k, d)
+			st, err := measure(ctx, cfg, core.Factory(), k, d, trials, 0, label)
+			if err != nil {
+				return nil, err
+			}
+			ratio := st.MeanTime() / st.LowerBound()
+			tbl.MustAddRow(d, k, st.MeanTime(), st.LowerBound(), ratio)
+			ratioByK[k] = append(ratioByK[k], ratio)
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+			if ratio < minRatio {
+				minRatio = ratio
+			}
+			if k == 1 {
+				slopeD = append(slopeD, float64(d))
+				slopeT = append(slopeT, st.MeanTime())
+			}
+		}
+	}
+	tbl.AddNote("trials per cell: %d; treasure placed uniformly on the ring of radius D", trials)
+	out.Tables = append(out.Tables, tbl)
+
+	out.addFinding("competitive ratio of KnownK stays in [%.2f, %.2f] across the sweep", minRatio, maxRatio)
+	out.addCheck("bounded-ratio", maxRatio < 40,
+		"max ratio %.2f (theorem predicts an absolute constant; implementation constant ≈ 8)", maxRatio)
+
+	// The ratio must not drift upward with D for any fixed k: compare the
+	// largest-D ratio against the smallest-D ratio.
+	flat := true
+	for k, ratios := range ratioByK {
+		first, last := ratios[0], ratios[len(ratios)-1]
+		if last > 3*first+1 {
+			flat = false
+			out.addCheck(fmt.Sprintf("flat-in-D(k=%d)", k), false,
+				"ratio grew from %.2f (smallest D) to %.2f (largest D)", first, last)
+		}
+	}
+	if flat {
+		out.addCheck("flat-in-D", true, "ratios do not grow with D for any fixed k")
+	}
+
+	// Single-agent scaling: time grows like D^2 (the spiral bound), i.e. the
+	// log-log slope of time versus D is close to 2.
+	if len(slopeD) >= 2 {
+		slope, err := stats.LogLogSlope(slopeD, slopeT)
+		if err != nil {
+			return nil, fmt.Errorf("E1 slope fit: %w", err)
+		}
+		out.addFinding("single-agent time scales as D^%.2f (theory: D^2)", slope)
+		out.addCheck("single-agent-exponent", slope > 1.6 && slope < 2.4,
+			"fitted exponent %.2f, want ≈ 2", slope)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package grid
+
+// This file implements the "walk in a straight line" navigation primitive
+// (Section 2, basic procedure 2). On the grid a straight line between two
+// nodes is approximated by a balanced staircase (Bresenham-style) path whose
+// length equals the hop distance between the endpoints. The path is fully
+// deterministic and both the position after t steps and the first time a
+// given node is hit have closed forms, which the analytic simulation engine
+// exploits.
+
+// PathLength returns the number of steps of the staircase walk from a to b,
+// which equals the hop distance between them.
+func PathLength(a, b Point) int {
+	return Dist(a, b)
+}
+
+// PathPoint returns the position reached after t steps of the staircase walk
+// from a to b, for 0 <= t <= PathLength(a, b). The walk interleaves moves
+// along the two axes so that after t steps the number of horizontal moves is
+// floor(t·|dx| / (|dx|+|dy|)); this keeps the discrete path within one cell
+// of the real segment from a to b. PathPoint panics if t is out of range.
+func PathPoint(a, b Point, t int) Point {
+	n := Dist(a, b)
+	if t < 0 || t > n {
+		panic("grid: path step out of range")
+	}
+	if n == 0 {
+		return a
+	}
+	dx, dy := b.X-a.X, b.Y-a.Y
+	adx := abs(dx)
+	xSteps := t * adx / n
+	ySteps := t - xSteps
+	return Point{
+		X: a.X + sign(dx)*xSteps,
+		Y: a.Y + sign(dy)*ySteps,
+	}
+}
+
+// PathHitTime returns the step at which the staircase walk from a to b first
+// stands on target, and true, if the walk passes through target; otherwise it
+// returns 0, false. The endpoints count: time 0 for a and PathLength(a, b)
+// for b.
+func PathHitTime(a, b, target Point) (int, bool) {
+	n := Dist(a, b)
+	if target == a {
+		return 0, true
+	}
+	if n == 0 {
+		return 0, false
+	}
+	// The walk is monotone in both coordinates, so target can only be hit at
+	// time t = d(a, target), and only if target lies inside the bounding
+	// "staircase corridor" from a to b.
+	t := Dist(a, target)
+	if t > n {
+		return 0, false
+	}
+	if !between(target.X, a.X, b.X) || !between(target.Y, a.Y, b.Y) {
+		return 0, false
+	}
+	if PathPoint(a, b, t) == target {
+		return t, true
+	}
+	return 0, false
+}
+
+// ForEachOnPath calls fn for every node of the staircase walk from a to b in
+// order, including both endpoints. If fn returns false the iteration stops
+// early. It returns the number of nodes visited.
+func ForEachOnPath(a, b Point, fn func(step int, p Point) bool) int {
+	n := Dist(a, b)
+	for t := 0; t <= n; t++ {
+		if !fn(t, PathPoint(a, b, t)) {
+			return t + 1
+		}
+	}
+	return n + 1
+}
+
+// between reports whether v lies in the closed interval spanned by lo and hi
+// (in either order).
+func between(v, lo, hi int) bool {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo <= v && v <= hi
+}

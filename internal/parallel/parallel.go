@@ -1,0 +1,105 @@
+// Package parallel provides a small worker-pool helper used to fan
+// Monte-Carlo trials out over goroutines. Results are deterministic
+// regardless of the number of workers because every task derives its own
+// random stream from the task index, and outputs are written to an
+// index-addressed slice rather than appended in completion order.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers goroutines
+// (0 means GOMAXPROCS). It stops early when the context is cancelled or when
+// fn returns an error, and returns the first error encountered (in index
+// order among tasks that ran). All spawned goroutines are joined before
+// ForEach returns.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if fn == nil {
+		return fmt.Errorf("parallel: nil task function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+		next     int
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || firstErr != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && (firstErr == nil || i < firstIdx) {
+			firstErr = err
+			firstIdx = i
+			cancel()
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				record(i, fn(i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) with at most workers goroutines and
+// collects the results in index order. On error the partial results are
+// discarded and the first error is returned.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

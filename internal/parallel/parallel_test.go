@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	t.Parallel()
+
+	const n = 200
+	var mu sync.Mutex
+	done := make([]bool, n)
+	err := ForEach(context.Background(), n, 4, func(i int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if done[i] {
+			return fmt.Errorf("task %d ran twice", i)
+		}
+		done[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range done {
+		if !ok {
+			t.Errorf("task %d never ran", i)
+		}
+	}
+}
+
+func TestForEachZeroTasksAndDefaults(t *testing.T) {
+	t.Parallel()
+
+	if err := ForEach(context.Background(), 0, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Errorf("zero tasks should be a no-op, got %v", err)
+	}
+	if err := ForEach(context.Background(), -5, 0, nil); err != nil {
+		t.Errorf("negative task count should be a no-op, got %v", err)
+	}
+	if err := ForEach(context.Background(), 3, 0, nil); err == nil {
+		t.Error("nil function with tasks should be an error")
+	}
+	// workers > n and workers == 0 both work.
+	var count atomic.Int64
+	if err := ForEach(context.Background(), 3, 100, func(int) error { count.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 3 {
+		t.Errorf("ran %d tasks, want 3", count.Load())
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	t.Parallel()
+
+	sentinel := errors.New("task failed")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 17 {
+			return fmt.Errorf("task %d: %w", i, sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got error %v, want the sentinel", err)
+	}
+	// The pool stops claiming new work after the failure, so far fewer than
+	// 1000 tasks ran (the exact number depends on scheduling).
+	if ran.Load() == 1000 {
+		t.Error("all tasks ran despite an early error; cancellation is not effective")
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	t.Parallel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 50, 4, func(int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Error("expected an error from the cancelled context")
+	}
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	t.Parallel()
+
+	out, err := Map(context.Background(), 100, 8, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("got %d results, want 100", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	t.Parallel()
+
+	sentinel := errors.New("broken")
+	out, err := Map(context.Background(), 10, 2, func(i int) (string, error) {
+		if i == 3 {
+			return "", sentinel
+		}
+		return "ok", nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("got %v, want sentinel", err)
+	}
+	if out != nil {
+		t.Error("partial results should be discarded on error")
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"antsearch/internal/adversary"
+	"antsearch/internal/agent"
+	"antsearch/internal/parallel"
+	"antsearch/internal/stats"
+	"antsearch/internal/xrand"
+)
+
+// TrialConfig describes a Monte-Carlo estimation of the expected running time
+// of an algorithm on instances with a fixed number of agents and a fixed
+// treasure-placement strategy.
+type TrialConfig struct {
+	// Factory supplies the algorithm; it receives the true number of agents
+	// and decides (by construction) how much of that information reaches the
+	// agents.
+	Factory agent.Factory
+	// NumAgents is the true number of agents k.
+	NumAgents int
+	// Adversary places the treasure for every trial.
+	Adversary adversary.Strategy
+	// Trials is the number of independent simulations.
+	Trials int
+	// Seed is the base seed; each trial derives its own streams from it.
+	Seed uint64
+	// MaxTime caps each trial (0 = DefaultMaxTime).
+	MaxTime int
+	// Workers bounds the number of goroutines used (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Validate reports whether the configuration is usable.
+func (c TrialConfig) Validate() error {
+	if c.Factory == nil {
+		return errors.New("sim: trial config has no algorithm factory")
+	}
+	if c.NumAgents < 1 {
+		return fmt.Errorf("sim: trial config needs at least one agent, got %d", c.NumAgents)
+	}
+	if c.Adversary == nil {
+		return errors.New("sim: trial config has no adversary")
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("sim: trial config needs at least one trial, got %d", c.Trials)
+	}
+	return nil
+}
+
+// TrialStats aggregates the outcomes of the Monte-Carlo trials.
+type TrialStats struct {
+	// Config echoes the inputs that produced these statistics.
+	NumAgents int
+	Distance  int
+	Trials    int
+
+	// Found is the number of trials in which the treasure was found before
+	// the cap; Capped is the number that hit the cap.
+	Found  int
+	Capped int
+
+	// Time summarises the first-hit time over the trials that found the
+	// treasure.
+	Time stats.Summary
+	// AllTime summarises the per-trial time over all trials, counting capped
+	// trials at the cap value. When Capped > 0 this is a lower bound on the
+	// true expectation.
+	AllTime stats.Summary
+	// Ratio summarises the per-trial competitive ratio Time/(D + D²/k) over
+	// all trials (capped trials counted at the cap).
+	Ratio stats.Summary
+	// Times holds the raw per-trial first-hit times (capped trials at the
+	// cap), in trial order, for analyses that need medians or distributions.
+	Times []float64
+}
+
+// SuccessRate returns the fraction of trials that found the treasure.
+func (s TrialStats) SuccessRate() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.Found) / float64(s.Trials)
+}
+
+// MeanTime returns the mean first-hit time over all trials (capped trials at
+// the cap), the estimator used for "expected running time" in the tables.
+func (s TrialStats) MeanTime() float64 { return s.AllTime.Mean }
+
+// MedianTime returns the median per-trial time.
+func (s TrialStats) MedianTime() float64 { return stats.Median(s.Times) }
+
+// MeanRatio returns the mean competitive ratio.
+func (s TrialStats) MeanRatio() float64 { return s.Ratio.Mean }
+
+// LowerBound returns D + D²/k for this configuration.
+func (s TrialStats) LowerBound() float64 {
+	d := float64(s.Distance)
+	return d + d*d/float64(s.NumAgents)
+}
+
+// MonteCarlo runs the configured number of independent trials, fanning them
+// out over goroutines, and aggregates the results. The aggregation is
+// deterministic: it depends only on the seed and the configuration, not on
+// scheduling.
+func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrialStats{}, err
+	}
+	alg := cfg.Factory(cfg.NumAgents)
+	if alg == nil {
+		return TrialStats{}, errors.New("sim: factory returned a nil algorithm")
+	}
+
+	results, err := parallel.Map(ctx, cfg.Trials, cfg.Workers, func(trial int) (Result, error) {
+		placeRNG := xrand.NewStream(cfg.Seed, 0xad5e, uint64(trial))
+		treasure := cfg.Adversary.Place(trial, placeRNG)
+		inst := Instance{
+			Algorithm: alg,
+			NumAgents: cfg.NumAgents,
+			Treasure:  treasure,
+		}
+		return Run(inst, Options{
+			Seed:    xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial)),
+			MaxTime: cfg.MaxTime,
+		})
+	})
+	if err != nil {
+		return TrialStats{}, fmt.Errorf("sim: monte carlo: %w", err)
+	}
+
+	return aggregate(cfg, results), nil
+}
+
+// aggregate folds per-trial results into TrialStats.
+func aggregate(cfg TrialConfig, results []Result) TrialStats {
+	out := TrialStats{
+		NumAgents: cfg.NumAgents,
+		Distance:  cfg.Adversary.Distance(),
+		Trials:    len(results),
+		Times:     make([]float64, 0, len(results)),
+	}
+	var foundAcc, allAcc, ratioAcc stats.Accumulator
+	for _, r := range results {
+		if r.Found {
+			out.Found++
+			foundAcc.Add(float64(r.Time))
+		}
+		if r.Capped {
+			out.Capped++
+		}
+		allAcc.Add(float64(r.Time))
+		ratioAcc.Add(r.CompetitiveRatio())
+		out.Times = append(out.Times, float64(r.Time))
+	}
+	out.Time = foundAcc.Summarize()
+	out.AllTime = allAcc.Summarize()
+	out.Ratio = ratioAcc.Summarize()
+	return out
+}
+
+// MonteCarloResults runs the trials like MonteCarlo but returns the raw
+// per-trial results (in trial order) instead of an aggregate. Experiments
+// that need joint statistics across configurations use it directly.
+func MonteCarloResults(ctx context.Context, cfg TrialConfig) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	alg := cfg.Factory(cfg.NumAgents)
+	if alg == nil {
+		return nil, errors.New("sim: factory returned a nil algorithm")
+	}
+	results, err := parallel.Map(ctx, cfg.Trials, cfg.Workers, func(trial int) (Result, error) {
+		placeRNG := xrand.NewStream(cfg.Seed, 0xad5e, uint64(trial))
+		treasure := cfg.Adversary.Place(trial, placeRNG)
+		inst := Instance{
+			Algorithm: alg,
+			NumAgents: cfg.NumAgents,
+			Treasure:  treasure,
+		}
+		return Run(inst, Options{
+			Seed:    xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial)),
+			MaxTime: cfg.MaxTime,
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: monte carlo: %w", err)
+	}
+	return results, nil
+}

@@ -1,0 +1,371 @@
+// Package sim contains the simulation engines that execute search algorithms
+// on the grid and measure the quantity the paper is about: the time until the
+// first of the k agents steps on the treasure.
+//
+// Two engines share the same semantics:
+//
+//   - the analytic engine (Run) walks the trajectory segment by segment and
+//     answers "does this segment hit the treasure, and when?" with the
+//     segments' closed-form queries, so a multi-million-step spiral search
+//     costs O(1);
+//   - the exact engine (RunExact) enumerates every cell an agent stands on
+//     and can report each visit to a caller-supplied visitor, which the
+//     coverage and overlap analyses need.
+//
+// Both engines replay exactly the same random decisions for a given seed, so
+// they produce identical hit times; the equivalence is enforced by tests.
+//
+// The engines interleave the k agents by advancing, at every step, the agent
+// with the smallest elapsed time (a min-heap keyed on elapsed time and agent
+// index). That keeps the total work proportional to k times the answer: an
+// agent is never simulated past the moment some other agent is already known
+// to have found the treasure, and an individual agent that would never find
+// the treasure on its own (a coordinated agent assigned the wrong sector, a
+// one-shot searcher that missed) does not stall the run.
+//
+// Time accounting follows Section 2 of the paper: traversing one edge costs
+// one unit, all agents start at the source at time zero and move
+// synchronously, and the search completes when some agent first visits the
+// treasure node.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"antsearch/internal/agent"
+	"antsearch/internal/grid"
+	"antsearch/internal/xrand"
+)
+
+// DefaultMaxTime is the time cap applied when Options.MaxTime is zero. It is
+// deliberately generous: the cap exists to keep accidental non-terminating
+// configurations (for example a single random walker on the infinite grid)
+// from hanging, not to truncate legitimate runs.
+const DefaultMaxTime = 1 << 34
+
+// Instance is one concrete search problem: an algorithm, the number of
+// identical agents executing it, and the treasure location.
+type Instance struct {
+	// Algorithm is the common protocol all agents execute.
+	Algorithm agent.Algorithm
+	// NumAgents is k, the number of identical agents.
+	NumAgents int
+	// Treasure is the target node τ. It must differ from the source.
+	Treasure grid.Point
+}
+
+// Validate reports whether the instance is well formed.
+func (in Instance) Validate() error {
+	if in.Algorithm == nil {
+		return errors.New("sim: instance has no algorithm")
+	}
+	if in.NumAgents < 1 {
+		return fmt.Errorf("sim: need at least one agent, got %d", in.NumAgents)
+	}
+	if in.Treasure == grid.Origin {
+		return errors.New("sim: treasure must not be placed on the source")
+	}
+	return nil
+}
+
+// Options control a single simulation run.
+type Options struct {
+	// Seed is the base seed; each agent's stream is derived from it and the
+	// agent index, so runs are reproducible and agent-order independent.
+	Seed uint64
+	// MaxTime caps the simulated time. A run that has not found the treasure
+	// by MaxTime stops and reports Capped. Zero means DefaultMaxTime.
+	MaxTime int
+}
+
+// maxTime returns the effective cap.
+func (o Options) maxTime() int {
+	if o.MaxTime <= 0 {
+		return DefaultMaxTime
+	}
+	return o.MaxTime
+}
+
+// Result reports the outcome of simulating one instance.
+type Result struct {
+	// Found is true if some agent visited the treasure before the cap.
+	Found bool
+	// Time is the first-hit time if Found, and the cap otherwise.
+	Time int
+	// Finder is the index of the agent that found the treasure first
+	// (ties broken towards the smaller index), or -1.
+	Finder int
+	// Capped is true if the treasure was not found before the cap.
+	Capped bool
+	// Lower-bound reference values for convenience: the distance D of the
+	// treasure and the trivial bound D + D²/k for this instance.
+	Distance   int
+	LowerBound float64
+}
+
+// CompetitiveRatio returns Time / (D + D²/k), the quantity the paper's
+// competitiveness definition compares against. For capped runs it returns the
+// ratio computed with the cap, which is a lower bound on the true ratio.
+func (r Result) CompetitiveRatio() float64 {
+	if r.LowerBound == 0 {
+		return 0
+	}
+	return float64(r.Time) / r.LowerBound
+}
+
+// lowerBound returns D + D²/k.
+func lowerBound(d, k int) float64 {
+	return float64(d) + float64(d)*float64(d)/float64(k)
+}
+
+// ErrDiscontinuousTrajectory is returned when an algorithm emits a segment
+// that does not start where the previous one ended. It always indicates a bug
+// in the algorithm implementation, but the engines surface it as an error
+// rather than panicking so that experiment sweeps fail cleanly.
+var ErrDiscontinuousTrajectory = errors.New("sim: searcher emitted a discontinuous trajectory")
+
+// agentState is the per-agent bookkeeping shared by both engines.
+type agentState struct {
+	idx      int
+	searcher agent.Searcher
+	elapsed  int
+	pos      grid.Point
+	// zeroStreak counts consecutive segments that made no progress in time;
+	// it guards the engine loop against algorithms that emit zero-duration
+	// segments forever.
+	zeroStreak int
+}
+
+// maxZeroStreak is the number of consecutive zero-duration segments an agent
+// may emit before the engine declares the algorithm stuck. Legitimate
+// schedules emit at most a handful of degenerate segments in a row.
+const maxZeroStreak = 1 << 20
+
+// ErrNoProgress is returned when an agent keeps emitting zero-duration
+// segments without ever advancing simulated time.
+var ErrNoProgress = errors.New("sim: searcher makes no progress (zero-duration segments)")
+
+// agentQueue is a min-heap of agent states ordered by (elapsed, idx), so the
+// engines always advance the agent that is furthest behind in simulated time
+// and tie-break deterministically.
+type agentQueue []*agentState
+
+func (q agentQueue) Len() int { return len(q) }
+
+func (q agentQueue) Less(i, j int) bool {
+	if q[i].elapsed != q[j].elapsed {
+		return q[i].elapsed < q[j].elapsed
+	}
+	return q[i].idx < q[j].idx
+}
+
+func (q agentQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *agentQueue) Push(x any) { *q = append(*q, x.(*agentState)) }
+
+// Pop implements heap.Interface.
+func (q *agentQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// newAgentQueue creates the initial heap with every agent at the source at
+// time zero.
+func newAgentQueue(in Instance, opts Options) agentQueue {
+	q := make(agentQueue, 0, in.NumAgents)
+	for a := 0; a < in.NumAgents; a++ {
+		rng := xrand.NewStream(opts.Seed, uint64(a))
+		q = append(q, &agentState{
+			idx:      a,
+			searcher: in.Algorithm.NewSearcher(rng, a),
+			pos:      grid.Origin,
+		})
+	}
+	heap.Init(&q)
+	return q
+}
+
+// stepOutcome is what advancing one agent by one segment reports back to the
+// engine loop.
+type stepOutcome struct {
+	// hit is the global hit time, or -1 if the segment did not reach the
+	// treasure before the budget.
+	hit int
+	// finished is true if the searcher has no more segments.
+	finished bool
+}
+
+// Run simulates the instance with the analytic engine and returns the
+// first-hit result.
+func Run(in Instance, opts Options) (Result, error) {
+	return run(in, opts, advanceAnalytic)
+}
+
+// RunExact simulates the instance cell by cell. If visit is non-nil it is
+// called for every (agent, time, position) pair the simulation touches —
+// including the source at time zero for each agent — up to the first-hit
+// time (or the cap). The visitor must not retain the values beyond the call.
+func RunExact(in Instance, opts Options, visit func(agentIdx, t int, p grid.Point)) (Result, error) {
+	if visit != nil {
+		// Report every agent's presence at the source at time zero, exactly
+		// once, before any movement.
+		for a := 0; a < in.NumAgents; a++ {
+			visit(a, 0, grid.Origin)
+		}
+	}
+	return run(in, opts, func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
+		return advanceExact(st, treasure, budget, visit)
+	})
+}
+
+// advanceFunc advances one agent by one segment, observing the exclusive time
+// budget (no times >= budget may be reported as hits).
+type advanceFunc func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error)
+
+// run is the engine loop shared by Run and RunExact.
+func run(in Instance, opts Options, advance advanceFunc) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	timeCap := opts.maxTime()
+	res := Result{
+		Finder:     -1,
+		Time:       timeCap,
+		Capped:     true,
+		Distance:   in.Treasure.L1(),
+		LowerBound: lowerBound(in.Treasure.L1(), in.NumAgents),
+	}
+
+	q := newAgentQueue(in, opts)
+	best := timeCap
+	for q.Len() > 0 {
+		st := q[0]
+		if st.elapsed >= best {
+			// Every remaining agent is already past the best hit time (or
+			// the cap); nothing can improve the answer.
+			break
+		}
+		before := st.elapsed
+		outcome, err := advance(st, in.Treasure, best)
+		if err != nil {
+			return Result{}, fmt.Errorf("agent %d: %w", st.idx, err)
+		}
+		if st.elapsed == before && outcome.hit < 0 && !outcome.finished {
+			st.zeroStreak++
+			if st.zeroStreak > maxZeroStreak {
+				return Result{}, fmt.Errorf("agent %d: %w", st.idx, ErrNoProgress)
+			}
+		} else {
+			st.zeroStreak = 0
+		}
+		if outcome.hit >= 0 && (outcome.hit < best || (outcome.hit == best && !res.Found)) {
+			best = outcome.hit
+			res.Found = true
+			res.Capped = false
+			res.Finder = st.idx
+			res.Time = outcome.hit
+		}
+		if outcome.finished || outcome.hit >= 0 || st.elapsed >= best {
+			heap.Pop(&q)
+			continue
+		}
+		heap.Fix(&q, 0)
+	}
+	return res, nil
+}
+
+// advanceAnalytic advances one agent by one segment using the segments'
+// closed-form hit queries.
+func advanceAnalytic(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
+	seg, ok := st.searcher.NextSegment()
+	if !ok {
+		return stepOutcome{hit: -1, finished: true}, nil
+	}
+	if seg.Start() != st.pos {
+		return stepOutcome{}, fmt.Errorf("%w: segment %v starts at %v, agent is at %v",
+			ErrDiscontinuousTrajectory, seg, seg.Start(), st.pos)
+	}
+	if off, found := seg.HitTime(treasure); found {
+		if t := st.elapsed + off; t < budget {
+			return stepOutcome{hit: t}, nil
+		}
+		// The hit lies beyond the budget, so it can never become the answer;
+		// park the agent at the budget so the engine retires it.
+		st.elapsed = budget
+		return stepOutcome{hit: -1}, nil
+	}
+	if seg.Duration() > budget-st.elapsed {
+		// The segment alone overshoots the budget; saturate rather than
+		// overflow the elapsed counter.
+		st.elapsed = budget
+		return stepOutcome{hit: -1}, nil
+	}
+	st.elapsed += seg.Duration()
+	st.pos = seg.End()
+	return stepOutcome{hit: -1}, nil
+}
+
+// advanceExact advances one agent by one segment, enumerating every cell and
+// reporting it to the visitor.
+func advanceExact(st *agentState, treasure grid.Point, budget int,
+	visit func(agentIdx, t int, p grid.Point)) (stepOutcome, error) {
+	seg, ok := st.searcher.NextSegment()
+	if !ok {
+		return stepOutcome{hit: -1, finished: true}, nil
+	}
+	if seg.Start() != st.pos {
+		return stepOutcome{}, fmt.Errorf("%w: segment %v starts at %v, agent is at %v",
+			ErrDiscontinuousTrajectory, seg, seg.Start(), st.pos)
+	}
+	hit := -1
+	truncated := false
+	seg.ForEach(func(t int, p grid.Point) bool {
+		if t == 0 {
+			// The segment's start coincides in time with the previous
+			// segment's end and was already visited/reported.
+			return true
+		}
+		globalT := st.elapsed + t
+		if globalT >= budget {
+			// The budget is exclusive, exactly as in the analytic engine:
+			// only times strictly below it are simulated.
+			truncated = true
+			return false
+		}
+		if visit != nil {
+			visit(st.idx, globalT, p)
+		}
+		if p == treasure {
+			hit = globalT
+			return false
+		}
+		return true
+	})
+	if hit >= 0 {
+		return stepOutcome{hit: hit}, nil
+	}
+	if truncated || seg.Duration() > budget-st.elapsed {
+		st.elapsed = budget
+		return stepOutcome{hit: -1}, nil
+	}
+	st.elapsed += seg.Duration()
+	st.pos = seg.End()
+	return stepOutcome{hit: -1}, nil
+}
+
+// Speedup returns the ratio T1/Tk given the two measured times, guarding
+// against division by zero.
+func Speedup(t1, tk float64) float64 {
+	if tk <= 0 {
+		return math.Inf(1)
+	}
+	return t1 / tk
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	t.Parallel()
+
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Error("zero-value accumulator should report zeros")
+	}
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range data {
+		a.Add(v)
+	}
+	if a.N() != len(data) {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic data set is 4; sample variance is
+	// 32/7.
+	if want := 32.0 / 7.0; math.Abs(a.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", a.Variance(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("range = [%v, %v], want [2, 9]", a.Min(), a.Max())
+	}
+	if a.StdDev() <= 0 || a.StdErr() <= 0 || a.ConfidenceInterval95() <= 0 {
+		t.Error("dispersion measures should be positive")
+	}
+
+	s := a.Summarize()
+	if s.N != len(data) || s.Mean != a.Mean() || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary mismatch: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestAccumulatorSingleObservation(t *testing.T) {
+	t.Parallel()
+
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Errorf("single observation misreported: %+v", a.Summarize())
+	}
+	if a.Variance() != 0 {
+		t.Errorf("variance of one observation = %v, want 0", a.Variance())
+	}
+}
+
+func TestAccumulatorMatchesDirectFormulaQuick(t *testing.T) {
+	t.Parallel()
+
+	f := func(raw []float64) bool {
+		var data []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				data = append(data, v)
+			}
+		}
+		if len(data) < 2 {
+			return true
+		}
+		var a Accumulator
+		sum := 0.0
+		for _, v := range data {
+			a.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(data))
+		if math.Abs(a.Mean()-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		ss := 0.0
+		for _, v := range data {
+			ss += (v - mean) * (v - mean)
+		}
+		variance := ss / float64(len(data)-1)
+		return math.Abs(a.Variance()-variance) <= 1e-6*(1+variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("Welford accumulation disagrees with direct formula: %v", err)
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	t.Parallel()
+
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("quantile of empty data should be 0")
+	}
+	data := []float64{9, 1, 7, 3, 5}
+	if got := Median(data); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+	if got := Quantile(data, 0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := Quantile(data, 1); got != 9 {
+		t.Errorf("Quantile(1) = %v, want 9", got)
+	}
+	if got := Quantile(data, 0.25); got != 3 {
+		t.Errorf("Quantile(0.25) = %v, want 3", got)
+	}
+	// Out-of-range q values clamp.
+	if got := Quantile(data, -1); got != 1 {
+		t.Errorf("Quantile(-1) = %v, want 1", got)
+	}
+	if got := Quantile(data, 2); got != 9 {
+		t.Errorf("Quantile(2) = %v, want 9", got)
+	}
+	// Interpolation between order statistics.
+	pairs := []float64{10, 20}
+	if got := Quantile(pairs, 0.5); got != 15 {
+		t.Errorf("interpolated quantile = %v, want 15", got)
+	}
+	// The input must not be reordered.
+	if data[0] != 9 || data[4] != 5 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	t.Parallel()
+
+	if Mean(nil) != 0 {
+		t.Error("mean of empty slice should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	t.Parallel()
+
+	if _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x values should fail")
+	}
+
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 7
+	}
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-3) > 1e-12 || math.Abs(intercept+7) > 1e-12 {
+		t.Errorf("fit = (%v, %v), want (3, -7)", slope, intercept)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	t.Parallel()
+
+	// y = 5·x^1.7 should fit an exponent of 1.7 exactly.
+	var xs, ys []float64
+	for x := 1.0; x <= 64; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 5*math.Pow(x, 1.7))
+	}
+	slope, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-1.7) > 1e-9 {
+		t.Errorf("slope = %v, want 1.7", slope)
+	}
+
+	// Non-positive points are skipped; too few usable points is an error.
+	if _, err := LogLogSlope([]float64{-1, 0}, []float64{1, 2}); err == nil {
+		t.Error("expected error when all points are unusable")
+	}
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should fail")
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-3, 0.5, 1, 3, 5, 7, 9, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	// Out-of-range values clamp into the first and last bins.
+	if h.Counts[0] != 3 { // -3, 0.5, 1
+		t.Errorf("first bin = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9, 42
+		t.Errorf("last bin = %d, want 2", h.Counts[4])
+	}
+	if got := h.Fraction(0); math.Abs(got-3.0/8) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+
+	var empty Histogram
+	empty.Counts = make([]int, 3)
+	empty.Hi = 3
+	if empty.Fraction(1) != 0 {
+		t.Error("fraction of empty histogram should be 0")
+	}
+}

@@ -1,0 +1,69 @@
+package trajectory
+
+import (
+	"fmt"
+
+	"antsearch/internal/grid"
+)
+
+// Pause is a segment during which the agent stays on a single node for a
+// fixed number of time units. The paper's core model starts all agents
+// simultaneously; Section 2 notes that the assumption "can easily be
+// removed", and the Delayed wrapper in the agent package uses Pause to model
+// agents that begin their search at different times (for example ants leaving
+// the nest one by one).
+type Pause struct {
+	at       grid.Point
+	duration int
+}
+
+// NewPause returns a pause of the given duration at the given node. Negative
+// durations are clamped to zero.
+func NewPause(at grid.Point, duration int) Pause {
+	if duration < 0 {
+		duration = 0
+	}
+	return Pause{at: at, duration: duration}
+}
+
+var _ Segment = Pause{}
+
+// Start implements Segment.
+func (p Pause) Start() grid.Point { return p.at }
+
+// End implements Segment.
+func (p Pause) End() grid.Point { return p.at }
+
+// Duration implements Segment.
+func (p Pause) Duration() int { return p.duration }
+
+// HitTime implements Segment. A pause "hits" only the node it rests on.
+func (p Pause) HitTime(target grid.Point) (int, bool) {
+	if target == p.at {
+		return 0, true
+	}
+	return 0, false
+}
+
+// At implements Segment.
+func (p Pause) At(t int) grid.Point {
+	if t < 0 || t > p.duration {
+		panic("trajectory: pause offset out of range")
+	}
+	return p.at
+}
+
+// ForEach implements Segment.
+func (p Pause) ForEach(fn func(t int, pt grid.Point) bool) bool {
+	for t := 0; t <= p.duration; t++ {
+		if !fn(t, p.at) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (p Pause) String() string {
+	return fmt.Sprintf("pause at %v for %d steps", p.at, p.duration)
+}

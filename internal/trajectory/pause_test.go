@@ -1,0 +1,75 @@
+package trajectory
+
+import (
+	"testing"
+
+	"antsearch/internal/grid"
+)
+
+func TestPauseSegment(t *testing.T) {
+	t.Parallel()
+
+	at := grid.Point{X: 3, Y: -2}
+	p := NewPause(at, 5)
+	if p.Duration() != 5 {
+		t.Errorf("Duration = %d, want 5", p.Duration())
+	}
+	if p.Start() != at || p.End() != at {
+		t.Errorf("pause endpoints = %v, %v, want %v", p.Start(), p.End(), at)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+	for tt := 0; tt <= 5; tt++ {
+		if got := p.At(tt); got != at {
+			t.Errorf("At(%d) = %v, want %v", tt, got, at)
+		}
+	}
+	if hit, ok := p.HitTime(at); !ok || hit != 0 {
+		t.Errorf("HitTime(own node) = (%d, %v), want (0, true)", hit, ok)
+	}
+	if _, ok := p.HitTime(grid.Origin); ok {
+		t.Error("pause should not hit other nodes")
+	}
+
+	count := 0
+	if !p.ForEach(func(int, grid.Point) bool { count++; return true }) {
+		t.Error("ForEach stopped early")
+	}
+	if count != 6 {
+		t.Errorf("ForEach visited %d offsets, want 6", count)
+	}
+	if p.ForEach(func(tt int, _ grid.Point) bool { return tt < 2 }) {
+		t.Error("ForEach should report early termination")
+	}
+
+	// Negative durations clamp; out-of-range At panics.
+	if got := NewPause(at, -3).Duration(); got != 0 {
+		t.Errorf("negative duration clamps to %d, want 0", got)
+	}
+	assertPanics(t, "At out of range", func() { p.At(6) })
+	assertPanics(t, "At negative", func() { p.At(-1) })
+}
+
+func TestPauseInPath(t *testing.T) {
+	t.Parallel()
+
+	u := grid.Point{X: 2}
+	path, err := NewPath(
+		NewPause(grid.Origin, 3),
+		NewWalk(grid.Origin, u),
+		NewPause(u, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := path.Duration(); got != 7 {
+		t.Errorf("Duration = %d, want 7", got)
+	}
+	if got := path.At(2); got != grid.Origin {
+		t.Errorf("At(2) = %v, want origin (still pausing)", got)
+	}
+	if hit, ok := path.HitTime(u); !ok || hit != 5 {
+		t.Errorf("HitTime = (%d, %v), want (5, true)", hit, ok)
+	}
+}

@@ -1,0 +1,176 @@
+// Package trajectory models agent trajectories as sequences of segments.
+//
+// The paper's algorithms are built from three navigation primitives: walking
+// in a (discretised) straight line to a node, performing a spiral search
+// around a node, and returning to the source. Each primitive becomes a
+// Segment: a deterministic sub-path with a known duration for which both
+// "where is the agent after t steps?" and "when does the agent first visit
+// node v?" can be answered in constant time. The analytic simulation engine
+// relies on those constant-time answers to skip over long spiral searches
+// without enumerating every cell, while the exact engine uses ForEach to
+// enumerate cells one by one; property tests keep the two views consistent.
+package trajectory
+
+import (
+	"fmt"
+
+	"antsearch/internal/grid"
+)
+
+// Segment is a deterministic contiguous piece of an agent trajectory.
+//
+// A segment of duration n occupies positions at the n+1 time offsets
+// 0, 1, ..., n, where offset 0 is Start() and offset n is End(). Offset 0 of
+// a segment coincides (in simulated time) with the final offset of the
+// previous segment, so engines must take care not to double-count it.
+type Segment interface {
+	fmt.Stringer
+
+	// Start returns the node the segment begins at.
+	Start() grid.Point
+	// End returns the node the segment ends at.
+	End() grid.Point
+	// Duration returns the number of edge traversals in the segment.
+	Duration() int
+	// HitTime returns the smallest time offset within [0, Duration()] at
+	// which the segment stands on target, if any.
+	HitTime(target grid.Point) (int, bool)
+	// At returns the position at time offset t, 0 <= t <= Duration().
+	At(t int) grid.Point
+	// ForEach calls fn for every time offset in order, starting at 0. If fn
+	// returns false the iteration stops and ForEach returns false.
+	ForEach(fn func(t int, p grid.Point) bool) bool
+}
+
+// Walk is a straight-line (staircase) walk between two nodes, used both for
+// the "walk to a node chosen at random" primitive and for returning to the
+// source.
+type Walk struct {
+	from grid.Point
+	to   grid.Point
+}
+
+// NewWalk returns a Walk from one node to another. A zero-length walk (from
+// == to) is valid and has duration 0.
+func NewWalk(from, to grid.Point) Walk {
+	return Walk{from: from, to: to}
+}
+
+var _ Segment = Walk{}
+
+// Start implements Segment.
+func (w Walk) Start() grid.Point { return w.from }
+
+// End implements Segment.
+func (w Walk) End() grid.Point { return w.to }
+
+// Duration implements Segment.
+func (w Walk) Duration() int { return grid.PathLength(w.from, w.to) }
+
+// HitTime implements Segment.
+func (w Walk) HitTime(target grid.Point) (int, bool) {
+	return grid.PathHitTime(w.from, w.to, target)
+}
+
+// At implements Segment.
+func (w Walk) At(t int) grid.Point { return grid.PathPoint(w.from, w.to, t) }
+
+// ForEach implements Segment.
+func (w Walk) ForEach(fn func(t int, p grid.Point) bool) bool {
+	completed := true
+	grid.ForEachOnPath(w.from, w.to, func(t int, p grid.Point) bool {
+		if !fn(t, p) {
+			completed = false
+			return false
+		}
+		return true
+	})
+	return completed
+}
+
+// String implements fmt.Stringer.
+func (w Walk) String() string {
+	return fmt.Sprintf("walk %v->%v (%d steps)", w.from, w.to, w.Duration())
+}
+
+// Spiral is a (portion of a) spiral search around a centre node. It covers
+// spiral step indices [FromStep, ToStep]; a fresh spiral search started at
+// its centre has FromStep 0. The agent's position at offset t is
+// centre + SpiralOffset(FromStep + t).
+type Spiral struct {
+	centre   grid.Point
+	fromStep int
+	toStep   int
+}
+
+// NewSpiral returns the spiral search around centre covering the given step
+// range. It panics if the range is invalid (fromStep < 0 or toStep <
+// fromStep); spiral bounds are always computed by the algorithms themselves,
+// so an invalid range is a programming error.
+func NewSpiral(centre grid.Point, fromStep, toStep int) Spiral {
+	if fromStep < 0 || toStep < fromStep {
+		panic(fmt.Sprintf("trajectory: invalid spiral range [%d, %d]", fromStep, toStep))
+	}
+	return Spiral{centre: centre, fromStep: fromStep, toStep: toStep}
+}
+
+// NewSpiralSearch returns a fresh spiral search of the given number of steps
+// starting at centre.
+func NewSpiralSearch(centre grid.Point, steps int) Spiral {
+	if steps < 0 {
+		steps = 0
+	}
+	return NewSpiral(centre, 0, steps)
+}
+
+var _ Segment = Spiral{}
+
+// Centre returns the node the spiral search is centred on.
+func (s Spiral) Centre() grid.Point { return s.centre }
+
+// FromStep returns the first spiral step index covered by this segment.
+func (s Spiral) FromStep() int { return s.fromStep }
+
+// ToStep returns the last spiral step index covered by this segment.
+func (s Spiral) ToStep() int { return s.toStep }
+
+// Start implements Segment.
+func (s Spiral) Start() grid.Point { return s.centre.Add(grid.SpiralOffset(s.fromStep)) }
+
+// End implements Segment.
+func (s Spiral) End() grid.Point { return s.centre.Add(grid.SpiralOffset(s.toStep)) }
+
+// Duration implements Segment.
+func (s Spiral) Duration() int { return s.toStep - s.fromStep }
+
+// HitTime implements Segment.
+func (s Spiral) HitTime(target grid.Point) (int, bool) {
+	idx := grid.SpiralIndex(target.Sub(s.centre))
+	if idx < s.fromStep || idx > s.toStep {
+		return 0, false
+	}
+	return idx - s.fromStep, true
+}
+
+// At implements Segment.
+func (s Spiral) At(t int) grid.Point {
+	if t < 0 || t > s.Duration() {
+		panic("trajectory: spiral offset out of range")
+	}
+	return s.centre.Add(grid.SpiralOffset(s.fromStep + t))
+}
+
+// ForEach implements Segment.
+func (s Spiral) ForEach(fn func(t int, p grid.Point) bool) bool {
+	for t := 0; t <= s.Duration(); t++ {
+		if !fn(t, s.At(t)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (s Spiral) String() string {
+	return fmt.Sprintf("spiral at %v steps [%d,%d]", s.centre, s.fromStep, s.toStep)
+}

@@ -1,0 +1,346 @@
+package trajectory
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"antsearch/internal/grid"
+)
+
+func TestWalkSegment(t *testing.T) {
+	t.Parallel()
+
+	w := NewWalk(grid.Point{X: 1, Y: 1}, grid.Point{X: 4, Y: -2})
+	if got, want := w.Duration(), 6; got != want {
+		t.Errorf("Duration = %d, want %d", got, want)
+	}
+	if w.Start() != (grid.Point{X: 1, Y: 1}) || w.End() != (grid.Point{X: 4, Y: -2}) {
+		t.Errorf("endpoints = %v, %v", w.Start(), w.End())
+	}
+	if got := w.At(0); got != w.Start() {
+		t.Errorf("At(0) = %v, want start", got)
+	}
+	if got := w.At(w.Duration()); got != w.End() {
+		t.Errorf("At(end) = %v, want end", got)
+	}
+	if w.String() == "" {
+		t.Error("empty String()")
+	}
+
+	// The walk hits its own endpoints.
+	if hit, ok := w.HitTime(w.Start()); !ok || hit != 0 {
+		t.Errorf("HitTime(start) = (%d, %v)", hit, ok)
+	}
+	if hit, ok := w.HitTime(w.End()); !ok || hit != w.Duration() {
+		t.Errorf("HitTime(end) = (%d, %v)", hit, ok)
+	}
+	if _, ok := w.HitTime(grid.Point{X: 100, Y: 100}); ok {
+		t.Error("walk should not hit a faraway node")
+	}
+}
+
+func TestSpiralSegment(t *testing.T) {
+	t.Parallel()
+
+	centre := grid.Point{X: -3, Y: 5}
+	s := NewSpiralSearch(centre, 48)
+	if got := s.Duration(); got != 48 {
+		t.Errorf("Duration = %d, want 48", got)
+	}
+	if s.Start() != centre {
+		t.Errorf("fresh spiral starts at %v, want centre %v", s.Start(), centre)
+	}
+	if got, want := s.End(), centre.Add(grid.SpiralOffset(48)); got != want {
+		t.Errorf("End = %v, want %v", got, want)
+	}
+	if got, want := s.Centre(), centre; got != want {
+		t.Errorf("Centre = %v, want %v", got, want)
+	}
+	if s.FromStep() != 0 || s.ToStep() != 48 {
+		t.Errorf("step range = [%d, %d], want [0, 48]", s.FromStep(), s.ToStep())
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+
+	// A node covered by the spiral is hit exactly at its spiral index.
+	target := centre.Add(grid.SpiralOffset(30))
+	if hit, ok := s.HitTime(target); !ok || hit != 30 {
+		t.Errorf("HitTime = (%d, %v), want (30, true)", hit, ok)
+	}
+	// A node beyond the truncation point is missed.
+	far := centre.Add(grid.SpiralOffset(49))
+	if _, ok := s.HitTime(far); ok {
+		t.Error("spiral should miss nodes beyond its last step")
+	}
+}
+
+func TestSpiralRangeSegment(t *testing.T) {
+	t.Parallel()
+
+	centre := grid.Origin
+	s := NewSpiral(centre, 10, 25)
+	if got := s.Duration(); got != 15 {
+		t.Errorf("Duration = %d, want 15", got)
+	}
+	if got, want := s.Start(), grid.SpiralOffset(10); got != want {
+		t.Errorf("Start = %v, want %v", got, want)
+	}
+	if got, want := s.End(), grid.SpiralOffset(25); got != want {
+		t.Errorf("End = %v, want %v", got, want)
+	}
+	// Nodes before the range are not hit.
+	if _, ok := s.HitTime(grid.SpiralOffset(9)); ok {
+		t.Error("range spiral should not hit nodes before its first step")
+	}
+	if hit, ok := s.HitTime(grid.SpiralOffset(10)); !ok || hit != 0 {
+		t.Errorf("HitTime(first) = (%d, %v), want (0, true)", hit, ok)
+	}
+	if hit, ok := s.HitTime(grid.SpiralOffset(25)); !ok || hit != 15 {
+		t.Errorf("HitTime(last) = (%d, %v), want (15, true)", hit, ok)
+	}
+}
+
+func TestSegmentConstructorPanics(t *testing.T) {
+	t.Parallel()
+
+	assertPanics(t, "negative from", func() { NewSpiral(grid.Origin, -1, 5) })
+	assertPanics(t, "to < from", func() { NewSpiral(grid.Origin, 5, 4) })
+	assertPanics(t, "At out of range", func() { NewSpiralSearch(grid.Origin, 3).At(4) })
+
+	if got := NewSpiralSearch(grid.Origin, -7).Duration(); got != 0 {
+		t.Errorf("negative-step spiral search should clamp to 0 steps, got %d", got)
+	}
+}
+
+// checkSegmentConsistency verifies that At, ForEach, HitTime, Duration, Start
+// and End tell a single consistent story for any segment.
+func checkSegmentConsistency(t *testing.T, seg Segment) {
+	t.Helper()
+
+	if seg.Duration() < 0 {
+		t.Fatalf("%v: negative duration", seg)
+	}
+	prevSet := false
+	var prev grid.Point
+	firstVisit := make(map[grid.Point]int)
+	completed := seg.ForEach(func(tt int, p grid.Point) bool {
+		if got := seg.At(tt); got != p {
+			t.Fatalf("%v: At(%d) = %v but ForEach reports %v", seg, tt, got, p)
+		}
+		if prevSet && grid.Dist(prev, p) != 1 {
+			t.Fatalf("%v: non-adjacent consecutive positions %v -> %v at t=%d", seg, prev, p, tt)
+		}
+		if _, seen := firstVisit[p]; !seen {
+			firstVisit[p] = tt
+		}
+		prev, prevSet = p, true
+		return true
+	})
+	if !completed {
+		t.Fatalf("%v: ForEach stopped early without being asked", seg)
+	}
+	if got := seg.At(0); got != seg.Start() {
+		t.Fatalf("%v: At(0) = %v, Start = %v", seg, got, seg.Start())
+	}
+	if got := seg.At(seg.Duration()); got != seg.End() {
+		t.Fatalf("%v: At(Duration) = %v, End = %v", seg, got, seg.End())
+	}
+	for p, want := range firstVisit {
+		got, ok := seg.HitTime(p)
+		if !ok || got != want {
+			t.Fatalf("%v: HitTime(%v) = (%d, %v), enumeration says %d", seg, p, got, ok, want)
+		}
+	}
+}
+
+func TestSegmentConsistencyExhaustive(t *testing.T) {
+	t.Parallel()
+
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		from := grid.Point{X: r.Intn(21) - 10, Y: r.Intn(21) - 10}
+		to := grid.Point{X: r.Intn(21) - 10, Y: r.Intn(21) - 10}
+		checkSegmentConsistency(t, NewWalk(from, to))
+
+		centre := grid.Point{X: r.Intn(21) - 10, Y: r.Intn(21) - 10}
+		start := r.Intn(30)
+		checkSegmentConsistency(t, NewSpiral(centre, start, start+r.Intn(120)))
+	}
+}
+
+func TestWalkHitTimeQuick(t *testing.T) {
+	t.Parallel()
+
+	f := func(ax, ay, bx, by, tx, ty int8) bool {
+		a := grid.Point{X: int(ax) / 4, Y: int(ay) / 4}
+		b := grid.Point{X: int(bx) / 4, Y: int(by) / 4}
+		target := grid.Point{X: int(tx) / 4, Y: int(ty) / 4}
+		w := NewWalk(a, b)
+
+		wantTime, wantHit := -1, false
+		w.ForEach(func(t int, p grid.Point) bool {
+			if p == target {
+				wantTime, wantHit = t, true
+				return false
+			}
+			return true
+		})
+		gotTime, gotHit := w.HitTime(target)
+		if gotHit != wantHit {
+			return false
+		}
+		return !wantHit || gotTime == wantTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("walk HitTime property failed: %v", err)
+	}
+}
+
+func TestPathConstruction(t *testing.T) {
+	t.Parallel()
+
+	u := grid.Point{X: 3, Y: 2}
+	seg1 := NewWalk(grid.Origin, u)
+	seg2 := NewSpiralSearch(u, 20)
+	seg3 := NewWalk(seg2.End(), grid.Origin)
+
+	p, err := NewPath(seg1, seg2, seg3)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d, want 3", p.Len())
+	}
+	if got, want := p.Duration(), seg1.Duration()+seg2.Duration()+seg3.Duration(); got != want {
+		t.Errorf("Duration = %d, want %d", got, want)
+	}
+	if p.Start() != grid.Origin || p.End() != grid.Origin {
+		t.Errorf("path endpoints = %v, %v, want origin, origin", p.Start(), p.End())
+	}
+	if p.Segment(1) != Segment(seg2) {
+		t.Errorf("Segment(1) = %v, want %v", p.Segment(1), seg2)
+	}
+
+	// Discontinuous segments are rejected.
+	_, err = NewPath(seg1, NewWalk(grid.Point{X: 9, Y: 9}, grid.Origin))
+	if !errors.Is(err, ErrDiscontinuous) {
+		t.Errorf("expected ErrDiscontinuous, got %v", err)
+	}
+}
+
+func TestPathAtAndHitTime(t *testing.T) {
+	t.Parallel()
+
+	u := grid.Point{X: 5, Y: 0}
+	p, err := NewPath(
+		NewWalk(grid.Origin, u),
+		NewSpiralSearch(u, 30),
+	)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+
+	// Every global time agrees with a step-by-step replay.
+	expected := make(map[int]grid.Point)
+	p.ForEach(func(t int, pt grid.Point) bool {
+		expected[t] = pt
+		return true
+	})
+	if len(expected) != p.Duration()+1 {
+		t.Fatalf("ForEach produced %d positions, want %d", len(expected), p.Duration()+1)
+	}
+	for tt := 0; tt <= p.Duration(); tt++ {
+		if got := p.At(tt); got != expected[tt] {
+			t.Fatalf("At(%d) = %v, ForEach says %v", tt, got, expected[tt])
+		}
+	}
+
+	// Hit times agree with the replay.
+	target := u.Add(grid.SpiralOffset(17))
+	wantHit := -1
+	p.ForEach(func(t int, pt grid.Point) bool {
+		if pt == target {
+			wantHit = t
+			return false
+		}
+		return true
+	})
+	gotHit, ok := p.HitTime(target)
+	if !ok || gotHit != wantHit {
+		t.Errorf("HitTime(%v) = (%d, %v), want (%d, true)", target, gotHit, ok, wantHit)
+	}
+	if _, ok := p.HitTime(grid.Point{X: 500, Y: 500}); ok {
+		t.Error("path should not hit a faraway node")
+	}
+}
+
+func TestPathAtPanics(t *testing.T) {
+	t.Parallel()
+
+	p, err := NewPath(NewWalk(grid.Origin, grid.Point{X: 2}))
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	assertPanics(t, "negative time", func() { p.At(-1) })
+	assertPanics(t, "time beyond end", func() { p.At(3) })
+}
+
+func TestPathNodesAndDistinct(t *testing.T) {
+	t.Parallel()
+
+	u := grid.Point{X: 2, Y: 0}
+	p, err := NewPath(
+		NewWalk(grid.Origin, u),
+		NewWalk(u, grid.Origin), // walk back over the same nodes
+	)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	nodes := p.Nodes()
+	if len(nodes) != p.Duration()+1 {
+		t.Errorf("Nodes returned %d entries, want %d", len(nodes), p.Duration()+1)
+	}
+	distinct := p.DistinctNodes()
+	if len(distinct) != 3 {
+		t.Errorf("DistinctNodes = %d, want 3 (out-and-back over 3 nodes)", len(distinct))
+	}
+}
+
+func TestPathForEachEarlyStop(t *testing.T) {
+	t.Parallel()
+
+	p, err := NewPath(
+		NewWalk(grid.Origin, grid.Point{X: 3}),
+		NewWalk(grid.Point{X: 3}, grid.Point{X: 3, Y: 3}),
+	)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	count := 0
+	completed := p.ForEach(func(t int, _ grid.Point) bool {
+		count++
+		return t < 4
+	})
+	if completed {
+		t.Error("ForEach should report early termination")
+	}
+	// Global times 0..3 from the first segment plus global time 4 (the first
+	// non-junction position of the second segment) are visited before fn
+	// asks to stop.
+	if count != 5 {
+		t.Errorf("visited %d positions before stopping, want 5", count)
+	}
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,160 @@
+// Package xrand provides the deterministic randomness substrate for the
+// search simulations: reproducible per-trial and per-agent random streams and
+// the samplers the paper's algorithms need (uniform nodes of a ball, random
+// directions, and the heavy-tailed "harmonic" distribution
+// p(u) ∝ 1/d(u)^(2+δ) of Section 5).
+//
+// Reproducibility is central to the experiment harness: every stream is
+// derived from an experiment seed plus a path of indices (trial, agent, ...)
+// via SplitMix64, so results do not depend on scheduling, on the number of
+// worker goroutines, or on the order in which trials run.
+package xrand
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// splitMix64 advances the SplitMix64 generator state and returns the next
+// 64-bit output. It is used only for seed derivation, not as the simulation
+// generator itself.
+func splitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed combines a base seed with a path of stream indices into a new
+// seed. Distinct paths yield statistically independent seeds, and the mapping
+// is deterministic.
+func DeriveSeed(base uint64, path ...uint64) uint64 {
+	s := splitMix64(base ^ 0x6a09e667f3bcc908)
+	for _, p := range path {
+		s = splitMix64(s ^ splitMix64(p^0xbb67ae8584caa73b))
+	}
+	return s
+}
+
+// Stream is a deterministic pseudo-random stream. It wraps the standard
+// library's PCG generator and adds the domain-specific samplers used by the
+// search algorithms.
+type Stream struct {
+	rng *rand.Rand
+}
+
+// NewStream returns a stream seeded from the base seed and the given path of
+// indices (for example trial index then agent index).
+func NewStream(base uint64, path ...uint64) *Stream {
+	seed := DeriveSeed(base, path...)
+	return &Stream{rng: rand.New(rand.NewPCG(seed, splitMix64(seed)))}
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Stream) Uint64() uint64 { return s.rng.Uint64() }
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand/v2 semantics.
+func (s *Stream) IntN(n int) int { return s.rng.IntN(n) }
+
+// Int64N returns a uniform int64 in [0, n).
+func (s *Stream) Int64N(n int64) int64 { return s.rng.Int64N(n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 { return s.rng.Float64() }
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Stream) Perm(n int) []int { return s.rng.Perm(n) }
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (s *Stream) ExpFloat64() float64 { return s.rng.ExpFloat64() }
+
+// NormFloat64 returns a standard normal value.
+func (s *Stream) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// PowerLawRadius samples an integer radius r >= 1 with probability
+// proportional to r^-(1+delta), for delta > 0. The support is unbounded; the
+// sampler uses exact rejection from the continuous Pareto envelope
+// floor(U^(-1/delta)) and therefore needs no truncation. This is the radial
+// component of the harmonic distribution of Section 5 (the node is then
+// uniform on the L1 ring of radius r, giving p(u) ∝ 1/d(u)^(2+delta)).
+func (s *Stream) PowerLawRadius(delta float64) int {
+	if delta <= 0 {
+		panic("xrand: PowerLawRadius requires delta > 0")
+	}
+	// Proposal q(r) = P(floor(X) = r) = r^-delta - (r+1)^-delta where
+	// X = U^(-1/delta) is continuous Pareto(delta) on [1, ∞). The target is
+	// pi(r) ∝ r^-(1+delta) and pi(r) <= M·q(r) with M = 2^(1+delta)/delta.
+	m := math.Pow(2, 1+delta) / delta
+	for {
+		u := s.rng.Float64()
+		if u == 0 {
+			continue
+		}
+		x := math.Pow(u, -1/delta)
+		if x >= float64(math.MaxInt64/4) {
+			// Astronomically rare; resample rather than overflow.
+			continue
+		}
+		r := int(x)
+		if r < 1 {
+			r = 1
+		}
+		q := math.Pow(float64(r), -delta) - math.Pow(float64(r+1), -delta)
+		target := math.Pow(float64(r), -(1 + delta))
+		if q <= 0 {
+			continue
+		}
+		if s.rng.Float64()*m*q < target {
+			return r
+		}
+	}
+}
+
+// GeometricTrials returns the number of independent Bernoulli(p) trials up to
+// and including the first success (support {1, 2, ...}). It panics if p is
+// not in (0, 1].
+func (s *Stream) GeometricTrials(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: GeometricTrials requires p in (0, 1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	return 1 + int(math.Floor(math.Log(u)/math.Log(1-p)))
+}
+
+// Zeta returns the Riemann zeta function ζ(x) for x > 1, computed by direct
+// summation with an integral tail correction. The experiments use it to
+// compute the normalising constant of the harmonic distribution,
+// c = 1/(4·ζ(1+δ)).
+func Zeta(x float64) float64 {
+	if x <= 1 {
+		return math.Inf(1)
+	}
+	const terms = 1 << 14
+	sum := 0.0
+	for n := 1; n <= terms; n++ {
+		sum += math.Pow(float64(n), -x)
+	}
+	// Euler–Maclaurin tail: ∫_{terms}^∞ t^-x dt + ½·terms^-x.
+	t := float64(terms)
+	sum += math.Pow(t, 1-x)/(x-1) + 0.5*math.Pow(t, -x)
+	return sum
+}
