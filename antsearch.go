@@ -28,13 +28,14 @@ package antsearch
 
 import (
 	"context"
+	"errors"
 
-	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
 	"antsearch/internal/baseline"
 	"antsearch/internal/core"
 	"antsearch/internal/grid"
 	"antsearch/internal/metrics"
+	"antsearch/internal/scenario"
 	"antsearch/internal/sim"
 	"antsearch/internal/trace"
 )
@@ -154,14 +155,30 @@ func ApproxHedgeFactory(epsilon float64) (Factory, error) { return core.ApproxHe
 type Option func(*options)
 
 type options struct {
-	seed    uint64
-	maxTime int
-	workers int
-	trials  int
+	seed       uint64
+	maxTime    int
+	workers    int
+	trials     int
+	workersSet bool
+	trialsSet  bool
 }
 
 func defaultOptions() options {
 	return options{seed: 1, trials: 32}
+}
+
+// errEstimateOnlyOption is returned by Search and SearchWithTrace when given
+// an option that only Monte-Carlo estimation can honour.
+var errEstimateOnlyOption = errors.New(
+	"antsearch: WithTrials and WithWorkers apply only to EstimateTime, not to a single Search")
+
+// estimateOnly reports an error if a single-run call was handed
+// estimation-only options.
+func (o options) estimateOnly() error {
+	if o.trialsSet || o.workersSet {
+		return errEstimateOnlyOption
+	}
+	return nil
 }
 
 // WithSeed fixes the random seed (default 1); identical seeds reproduce
@@ -173,19 +190,29 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 func WithMaxTime(steps int) Option { return func(o *options) { o.maxTime = steps } }
 
 // WithWorkers bounds the number of goroutines used by Monte-Carlo estimation
-// (default: GOMAXPROCS).
-func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+// (default: GOMAXPROCS). It is only meaningful for EstimateTime; Search and
+// SearchWithTrace simulate a single instance and reject it.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n; o.workersSet = true }
+}
 
-// WithTrials sets the number of Monte-Carlo trials used by Estimate (default
-// 32).
-func WithTrials(n int) Option { return func(o *options) { o.trials = n } }
+// WithTrials sets the number of Monte-Carlo trials used by EstimateTime
+// (default 32). It is only meaningful for EstimateTime; Search and
+// SearchWithTrace simulate a single instance and reject it.
+func WithTrials(n int) Option {
+	return func(o *options) { o.trials = n; o.trialsSet = true }
+}
 
 // Search simulates k agents running alg until the first of them reaches the
-// treasure (or the time cap is hit) and returns the outcome.
+// treasure (or the time cap is hit) and returns the outcome. It returns an
+// error if given estimation-only options (WithTrials, WithWorkers).
 func Search(alg Algorithm, k int, treasure Point, opts ...Option) (Result, error) {
 	o := defaultOptions()
 	for _, apply := range opts {
 		apply(&o)
+	}
+	if err := o.estimateOnly(); err != nil {
+		return Result{}, err
 	}
 	return sim.Run(sim.Instance{Algorithm: alg, NumAgents: k, Treasure: treasure},
 		sim.Options{Seed: o.seed, MaxTime: o.maxTime})
@@ -208,6 +235,9 @@ func SearchWithTrace(alg Algorithm, k int, treasure Point, opts ...Option) (*Tra
 	o := defaultOptions()
 	for _, apply := range opts {
 		apply(&o)
+	}
+	if err := o.estimateOnly(); err != nil {
+		return nil, err
 	}
 	rec := trace.NewRecorder()
 	cov := metrics.NewCoverage(k)
@@ -232,25 +262,46 @@ func (t *Trace) RenderTrace(radius int, treasure Point) string {
 
 // EstimateTime estimates the expected time for k agents built by factory to
 // find a treasure placed uniformly at random at distance d, by running
-// independent trials in parallel.
+// independent trials in parallel through the streaming sweep engine: trials
+// are sharded over workers, aggregated by per-shard streaming accumulators
+// and merged deterministically, so memory stays bounded no matter how many
+// trials run.
 func EstimateTime(ctx context.Context, factory Factory, k, d int, opts ...Option) (Estimate, error) {
 	o := defaultOptions()
 	for _, apply := range opts {
 		apply(&o)
 	}
-	ring, err := adversary.NewUniformRing(d)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return sim.MonteCarlo(ctx, sim.TrialConfig{
-		Factory:   factory,
-		NumAgents: k,
-		Adversary: ring,
-		Trials:    o.trials,
-		Seed:      o.seed,
-		MaxTime:   o.maxTime,
-		Workers:   o.workers,
+	return scenario.Runner{Workers: o.workers}.RunOne(ctx, scenario.Cell{
+		Scenario: "estimate",
+		Factory:  factory,
+		K:        k,
+		D:        d,
+		Trials:   o.trials,
+		MaxTime:  o.maxTime,
+		Seed:     o.seed,
 	})
+}
+
+// --- Scenario registry --------------------------------------------------------
+
+// ScenarioParams parameterises the registered scenarios (see Scenarios).
+type ScenarioParams = scenario.Params
+
+// Scenarios returns the names of all registered scenarios: the paper's
+// algorithms, the extensions and the baselines, each resolvable by
+// ScenarioFactory and swept by cmd/antsweep.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioFactory resolves a registered scenario into the advice-model
+// factory EstimateTime consumes.
+func ScenarioFactory(name string, p ScenarioParams) (Factory, error) {
+	return scenario.Factory(name, p)
+}
+
+// ScenarioAlgorithm resolves a registered scenario into the algorithm a
+// single Search with k agents executes.
+func ScenarioAlgorithm(name string, p ScenarioParams, k int) (Algorithm, error) {
+	return scenario.Algorithm(name, p, k)
 }
 
 // LowerBound returns the trivial lower bound D + D²/k on the expected search

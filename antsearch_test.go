@@ -180,3 +180,57 @@ func TestFactories(t *testing.T) {
 		t.Error("known-k factory produced an unnamed algorithm")
 	}
 }
+
+func TestSearchRejectsEstimationOptions(t *testing.T) {
+	t.Parallel()
+
+	alg, err := antsearch.Uniform(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treasure := antsearch.Point{X: 10}
+	if _, err := antsearch.Search(alg, 4, treasure, antsearch.WithTrials(10)); err == nil {
+		t.Error("Search with WithTrials should fail: the option only applies to EstimateTime")
+	}
+	if _, err := antsearch.Search(alg, 4, treasure, antsearch.WithWorkers(2)); err == nil {
+		t.Error("Search with WithWorkers should fail: the option only applies to EstimateTime")
+	}
+	if _, err := antsearch.SearchWithTrace(alg, 4, treasure, antsearch.WithTrials(10)); err == nil {
+		t.Error("SearchWithTrace with WithTrials should fail")
+	}
+	// Valid options still work.
+	if _, err := antsearch.Search(alg, 4, treasure, antsearch.WithSeed(2), antsearch.WithMaxTime(10000)); err != nil {
+		t.Errorf("Search with seed and max-time options: %v", err)
+	}
+}
+
+func TestScenarioRegistryFacade(t *testing.T) {
+	t.Parallel()
+
+	names := antsearch.Scenarios()
+	if len(names) < 11 {
+		t.Fatalf("only %d scenarios registered: %v", len(names), names)
+	}
+	factory, err := antsearch.ScenarioFactory("known-k", antsearch.ScenarioParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := antsearch.EstimateTime(context.Background(), factory, 4, 10,
+		antsearch.WithSeed(3), antsearch.WithTrials(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Found != 8 {
+		t.Errorf("known-k found the treasure in %d/8 trials", est.Found)
+	}
+	alg, err := antsearch.ScenarioAlgorithm("uniform", antsearch.ScenarioParams{Epsilon: 0.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() == "" {
+		t.Error("scenario algorithm has no name")
+	}
+	if _, err := antsearch.ScenarioFactory("bogus", antsearch.ScenarioParams{}); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+}

@@ -14,10 +14,12 @@ package antsearch_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"antsearch"
 	"antsearch/internal/experiments"
+	"antsearch/internal/sim"
 )
 
 // benchExperiment runs one registered experiment per iteration and fails the
@@ -160,5 +162,46 @@ func BenchmarkMonteCarloEstimate(b *testing.B) {
 		if est.Found != est.Trials {
 			b.Fatal("known-k failed to find the treasure in some trial")
 		}
+	}
+}
+
+// BenchmarkSweepEngine measures the streaming sweep hot path at growing
+// trial counts. With b.ReportAllocs the per-trial allocation rate
+// (allocs/op divided by the reported trials/op metric) must stay flat as the
+// trial count grows: the engine aggregates through per-shard streaming
+// accumulators and never materializes an O(trials) result slice.
+// BENCH_sweep.json records the baseline.
+func BenchmarkSweepEngine(b *testing.B) {
+	for _, trials := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			ctx := context.Background()
+			factory := antsearch.KnownKFactory()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est, err := antsearch.EstimateTime(ctx, factory, 4, 8,
+					antsearch.WithSeed(uint64(i)+1), antsearch.WithTrials(trials))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if est.Trials != trials {
+					b.Fatalf("ran %d trials, want %d", est.Trials, trials)
+				}
+			}
+			b.ReportMetric(float64(trials), "trials/op")
+		})
+	}
+}
+
+// BenchmarkTrialAccumulator measures the pure aggregation cost per trial
+// result, independent of the simulator.
+func BenchmarkTrialAccumulator(b *testing.B) {
+	acc := sim.NewTrialAccumulator(4, 8)
+	r := sim.Result{Found: true, Time: 42, Distance: 8, LowerBound: 24}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Time = 40 + i%17
+		acc.Add(r)
 	}
 }

@@ -6,9 +6,10 @@
 //	antsim -alg uniform -k 16 -d 40 [-eps 0.5] [-delta 0.5] [-seed 7]
 //	       [-trace] [-trace-radius 20] [-max-time N]
 //
-// Supported -alg values: known-k, rho-approx, uniform, harmonic,
-// harmonic-restart, approx-hedge, single-spiral, random-walk, levy,
-// sector-sweep, known-d.
+// The -alg values are the names of the scenario registry (known-k,
+// rho-approx, uniform, harmonic, harmonic-restart, approx-hedge,
+// single-spiral, random-walk, levy, sector-sweep, known-d); run with
+// -list to enumerate them.
 package main
 
 import (
@@ -41,9 +42,16 @@ func run(args []string, out io.Writer) error {
 		maxTime     = fs.Int("max-time", 0, "time cap (0 = engine default)")
 		doTrace     = fs.Bool("trace", false, "run the exact engine and print a visit heat map")
 		traceRadius = fs.Int("trace-radius", 0, "heat map radius (default: D + D/2)")
+		list        = fs.Bool("list", false, "list the registered scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range antsearch.Scenarios() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
 	}
 	if *k < 1 || *d < 1 {
 		return fmt.Errorf("need k >= 1 and d >= 1 (got k=%d, d=%d)", *k, *d)
@@ -99,32 +107,15 @@ func printResult(out io.Writer, res antsearch.Result, k, d int) {
 	fmt.Fprintf(out, "lower bound D + D²/k = %.0f, competitive ratio %.2f\n", lb, float64(res.Time)/lb)
 }
 
-// buildAlgorithm maps CLI flags to an algorithm value.
+// buildAlgorithm resolves CLI flags through the scenario registry. Advice
+// scenarios (rho-approx, approx-hedge) hand the agents the raw k as their
+// estimate, the historical single-run semantics.
 func buildAlgorithm(name string, k, d int, eps, delta, rho, mu float64) (antsearch.Algorithm, error) {
-	switch name {
-	case "known-k":
-		return antsearch.KnownK(k)
-	case "rho-approx":
-		return antsearch.RhoApprox(k, rho)
-	case "uniform":
-		return antsearch.Uniform(eps)
-	case "harmonic":
-		return antsearch.Harmonic(delta)
-	case "harmonic-restart":
-		return antsearch.HarmonicRestart(delta)
-	case "approx-hedge":
-		return antsearch.ApproxHedge(k, eps)
-	case "single-spiral":
-		return antsearch.SingleSpiral(), nil
-	case "random-walk":
-		return antsearch.RandomWalk(), nil
-	case "levy":
-		return antsearch.LevyFlight(mu)
-	case "sector-sweep":
-		return antsearch.SectorSweep(k)
-	case "known-d":
-		return antsearch.KnownD(d)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
+	return antsearch.ScenarioAlgorithm(name, antsearch.ScenarioParams{
+		Epsilon: eps,
+		Delta:   delta,
+		Rho:     rho,
+		Mu:      mu,
+		D:       d,
+	}, k)
 }

@@ -8,6 +8,10 @@
 //
 //	antsweep -algs known-k,uniform -k 1,4,16,64 -d 32,128 -trials 50
 //	         [-eps 0.5] [-delta 0.5] [-seed 1] [-format ascii] [-max-time N]
+//
+// The -algs names come from the scenario registry; -list enumerates them.
+// Trials run through the streaming sweep engine, so arbitrarily large
+// -trials values execute in constant memory.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strings"
 
 	"antsearch"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -45,9 +50,16 @@ func run(args []string, out io.Writer) error {
 		maxTime = fs.Int("max-time", 0, "per-trial time cap (0 = engine default)")
 		format  = fs.String("format", "ascii", "output format: ascii, markdown or csv")
 		workers = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
+		list    = fs.Bool("list", false, "list the registered scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range antsearch.Scenarios() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
 	}
 	ks, err := parseInts(*kList)
 	if err != nil {
@@ -61,42 +73,44 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-trials must be at least 1")
 	}
 
+	var names []string
+	for _, algName := range strings.Split(*algList, ",") {
+		if algName = strings.TrimSpace(algName); algName != "" {
+			names = append(names, algName)
+		}
+	}
+
+	// Expand the (scenario × D × k) grid and run every cell through the
+	// streaming sweep engine: trials are sharded over workers and aggregated
+	// by per-shard accumulators, so memory stays flat however large -trials.
+	cells, err := scenario.Grid{
+		Scenarios: names,
+		Params:    scenario.Params{Epsilon: *eps, Delta: *delta, Rho: *rho, Mu: *mu},
+		Ks:        ks,
+		Ds:        ds,
+		Trials:    *trials,
+		MaxTime:   *maxTime,
+		Seed:      *seed,
+	}.Cells()
+	if err != nil {
+		return err
+	}
+	stats, err := scenario.Runner{Workers: *workers}.Run(context.Background(), cells)
+	if err != nil {
+		return err
+	}
+
 	tbl := table.New("antsweep", "algorithm", "k", "D", "trials", "success", "mean time",
 		"median time", "D + D²/k", "ratio", "speed-up vs k=1")
-	ctx := context.Background()
-
-	for _, algName := range strings.Split(*algList, ",") {
-		algName = strings.TrimSpace(algName)
-		if algName == "" {
-			continue
+	timeAtK1 := 0.0
+	for i, cell := range cells {
+		est := stats[i]
+		if cell.K == ks[0] {
+			timeAtK1 = est.MeanTime()
 		}
-		for _, d := range ds {
-			timeAtK1 := 0.0
-			for _, k := range ks {
-				factory, err := buildFactory(algName, d, *eps, *delta, *rho, *mu)
-				if err != nil {
-					return err
-				}
-				opts := []antsearch.Option{
-					antsearch.WithSeed(*seed),
-					antsearch.WithTrials(*trials),
-					antsearch.WithWorkers(*workers),
-				}
-				if *maxTime > 0 {
-					opts = append(opts, antsearch.WithMaxTime(*maxTime))
-				}
-				est, err := antsearch.EstimateTime(ctx, factory, k, d, opts...)
-				if err != nil {
-					return fmt.Errorf("%s k=%d D=%d: %w", algName, k, d, err)
-				}
-				if k == ks[0] {
-					timeAtK1 = est.MeanTime()
-				}
-				lb := antsearch.LowerBound(d, k)
-				tbl.MustAddRow(algName, k, d, est.Trials, est.SuccessRate(), est.MeanTime(),
-					est.MedianTime(), lb, est.MeanTime()/lb, antsearch.Speedup(timeAtK1, est.MeanTime()))
-			}
-		}
+		lb := antsearch.LowerBound(cell.D, cell.K)
+		tbl.MustAddRow(cell.Scenario, cell.K, cell.D, est.Trials, est.SuccessRate(), est.MeanTime(),
+			est.MedianTime(), lb, est.MeanTime()/lb, antsearch.Speedup(timeAtK1, est.MeanTime()))
 	}
 	tbl.AddNote("seed %d, %d trials per cell; speed-up is relative to the first k value listed", *seed, *trials)
 
@@ -113,52 +127,15 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// buildFactory maps an algorithm name to the Factory used for the sweep.
+// buildFactory resolves an algorithm name through the scenario registry.
 func buildFactory(name string, d int, eps, delta, rho, mu float64) (antsearch.Factory, error) {
-	switch name {
-	case "known-k":
-		return antsearch.KnownKFactory(), nil
-	case "rho-approx":
-		return antsearch.RhoApproxFactory(rho, 1/rho)
-	case "uniform":
-		return antsearch.UniformFactory(eps)
-	case "harmonic-restart":
-		return antsearch.HarmonicRestartFactory(delta)
-	case "approx-hedge":
-		return antsearch.ApproxHedgeFactory(eps)
-	case "single-spiral":
-		return func(int) antsearch.Algorithm { return antsearch.SingleSpiral() }, nil
-	case "random-walk":
-		return func(int) antsearch.Algorithm { return antsearch.RandomWalk() }, nil
-	case "levy":
-		alg, err := antsearch.LevyFlight(mu)
-		if err != nil {
-			return nil, err
-		}
-		return func(int) antsearch.Algorithm { return alg }, nil
-	case "sector-sweep":
-		return func(k int) antsearch.Algorithm {
-			alg, err := antsearch.SectorSweep(max(k, 1))
-			if err != nil {
-				panic(err) // k is clamped to >= 1, so this cannot fail
-			}
-			return alg
-		}, nil
-	case "known-d":
-		alg, err := antsearch.KnownD(d)
-		if err != nil {
-			return nil, err
-		}
-		return func(int) antsearch.Algorithm { return alg }, nil
-	case "harmonic":
-		alg, err := antsearch.Harmonic(delta)
-		if err != nil {
-			return nil, err
-		}
-		return func(int) antsearch.Algorithm { return alg }, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
+	return antsearch.ScenarioFactory(name, antsearch.ScenarioParams{
+		Epsilon: eps,
+		Delta:   delta,
+		Rho:     rho,
+		Mu:      mu,
+		D:       d,
+	})
 }
 
 // parseInts parses a comma-separated list of positive integers.

@@ -1,0 +1,3 @@
+module antsearch
+
+go 1.24

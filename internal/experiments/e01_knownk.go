@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"antsearch/internal/core"
+	"antsearch/internal/scenario"
 	"antsearch/internal/stats"
 	"antsearch/internal/table"
 )
@@ -27,9 +27,28 @@ func runE1(ctx context.Context, cfg Config) (*Outcome, error) {
 	agents := pick(cfg, []int{1, 4, 16}, []int{1, 4, 16, 64}, []int{1, 4, 16, 64, 256})
 	trials := pick(cfg, 12, 60, 200)
 
+	knownK, err := factoryFor("known-k", scenario.Params{})
+	if err != nil {
+		return nil, fmt.Errorf("E1: %w", err)
+	}
+
 	out := &Outcome{}
 	tbl := table.New("E1: KnownK expected time vs the D + D²/k lower bound",
 		"D", "k", "mean time", "D + D²/k", "ratio")
+
+	var cells []sweepCell
+	for _, k := range agents {
+		for _, d := range distances {
+			cells = append(cells, sweepCell{
+				label:   fmt.Sprintf("E1/k=%d/D=%d", k, d),
+				factory: knownK, k: k, d: d, trials: trials,
+			})
+		}
+	}
+	sweep, err := runSweep(ctx, cfg, cells)
+	if err != nil {
+		return nil, err
+	}
 
 	maxRatio, minRatio := 0.0, 1e18
 	// ratioByK[k] collects the ratios across D, used for the flatness check.
@@ -38,26 +57,20 @@ func runE1(ctx context.Context, cfg Config) (*Outcome, error) {
 	// single-agent exponent.
 	var slopeD, slopeT []float64
 
-	for _, k := range agents {
-		for _, d := range distances {
-			label := fmt.Sprintf("E1/k=%d/D=%d", k, d)
-			st, err := measure(ctx, cfg, core.Factory(), k, d, trials, 0, label)
-			if err != nil {
-				return nil, err
-			}
-			ratio := st.MeanTime() / st.LowerBound()
-			tbl.MustAddRow(d, k, st.MeanTime(), st.LowerBound(), ratio)
-			ratioByK[k] = append(ratioByK[k], ratio)
-			if ratio > maxRatio {
-				maxRatio = ratio
-			}
-			if ratio < minRatio {
-				minRatio = ratio
-			}
-			if k == 1 {
-				slopeD = append(slopeD, float64(d))
-				slopeT = append(slopeT, st.MeanTime())
-			}
+	for i, cell := range cells {
+		st, k, d := sweep[i], cell.k, cell.d
+		ratio := st.MeanTime() / st.LowerBound()
+		tbl.MustAddRow(d, k, st.MeanTime(), st.LowerBound(), ratio)
+		ratioByK[k] = append(ratioByK[k], ratio)
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+		if ratio < minRatio {
+			minRatio = ratio
+		}
+		if k == 1 {
+			slopeD = append(slopeD, float64(d))
+			slopeT = append(slopeT, st.MeanTime())
 		}
 	}
 	tbl.AddNote("trials per cell: %d; treasure placed uniformly on the ring of radius D", trials)

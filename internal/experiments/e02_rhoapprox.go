@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"antsearch/internal/core"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -41,7 +41,7 @@ func runE2(ctx context.Context, cfg Config) (*Outcome, error) {
 			biases = []float64{1}
 		}
 		for _, bias := range biases {
-			factory, err := core.RhoApproxFactory(rho, bias)
+			factory, err := factoryFor("rho-approx", scenario.Params{Rho: rho, Bias: bias})
 			if err != nil {
 				return nil, fmt.Errorf("E2: %w", err)
 			}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"antsearch/internal/core"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -27,7 +27,7 @@ func runE3(ctx context.Context, cfg Config) (*Outcome, error) {
 	trials := pick(cfg, 8, 30, 80)
 	agents := geometricInts(1, maxK)
 
-	factory, err := core.UniformFactory(eps)
+	factory, err := factoryFor("uniform", scenario.Params{Epsilon: eps})
 	if err != nil {
 		return nil, fmt.Errorf("E3: %w", err)
 	}
@@ -36,21 +36,29 @@ func runE3(ctx context.Context, cfg Config) (*Outcome, error) {
 	tbl := table.New(fmt.Sprintf("E3: competitiveness of Uniform(ε=%.2g) as k grows", eps),
 		"k", "D", "mean time", "D + D²/k", "ratio", "ratio / log^(1+ε) k")
 
-	var normalized []float64
-	var rawRatios []float64
+	// The competitiveness definition takes a supremum over D; the hard
+	// regime is k ≤ D (the paper reduces to it), so track D = 2k with a
+	// floor that keeps small-k cells meaningful.
+	var cells []sweepCell
 	for _, k := range agents {
-		// The competitiveness definition takes a supremum over D; the hard
-		// regime is k ≤ D (the paper reduces to it), so track D = 2k with a
-		// floor that keeps small-k cells meaningful.
 		d := 2 * k
 		if d < 32 {
 			d = 32
 		}
-		label := fmt.Sprintf("E3/k=%d/D=%d", k, d)
-		st, err := measure(ctx, cfg, factory, k, d, trials, 0, label)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, sweepCell{
+			label:   fmt.Sprintf("E3/k=%d/D=%d", k, d),
+			factory: factory, k: k, d: d, trials: trials,
+		})
+	}
+	sweep, err := runSweep(ctx, cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var normalized []float64
+	var rawRatios []float64
+	for i, cell := range cells {
+		st, k, d := sweep[i], cell.k, cell.d
 		ratio := st.MeanTime() / st.LowerBound()
 		norm := ratio / polylog(k, eps)
 		tbl.MustAddRow(k, d, st.MeanTime(), st.LowerBound(), ratio, norm)

@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"antsearch/internal/core"
 	"antsearch/internal/lowerbound"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -41,7 +41,7 @@ func runE4(ctx context.Context, cfg Config) (*Outcome, error) {
 	eps := 0.2
 	maxK := pick(cfg, 64, 512, 1024)
 	trials := pick(cfg, 8, 30, 60)
-	factory, err := core.UniformFactory(eps)
+	factory, err := factoryFor("uniform", scenario.Params{Epsilon: eps})
 	if err != nil {
 		return nil, fmt.Errorf("E4: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"antsearch/internal/core"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -39,7 +40,7 @@ func runE5(ctx context.Context, cfg Config) (*Outcome, error) {
 	ratio := make(map[float64]map[int]float64)
 	worst := make(map[float64]float64)
 	for _, eps := range epsilons {
-		factory, err := core.ApproxHedgeFactory(eps)
+		factory, err := factoryFor("approx-hedge", scenario.Params{Epsilon: eps})
 		if err != nil {
 			return nil, fmt.Errorf("E5: %w", err)
 		}

@@ -5,8 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"antsearch/internal/core"
-	"antsearch/internal/stats"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -46,7 +45,7 @@ func runE6(ctx context.Context, cfg Config) (*Outcome, error) {
 	var successLow, successHigh []float64
 	var normalizedHigh []float64
 	for _, delta := range deltas {
-		factory, err := core.HarmonicFactory(delta)
+		factory, err := factoryFor("harmonic", scenario.Params{Delta: delta})
 		if err != nil {
 			return nil, fmt.Errorf("E6: %w", err)
 		}
@@ -64,13 +63,7 @@ func runE6(ctx context.Context, cfg Config) (*Outcome, error) {
 				if err != nil {
 					return nil, err
 				}
-				foundTimes := make([]float64, 0, len(st.Times))
-				for _, t := range st.Times {
-					if int(t) < maxT {
-						foundTimes = append(foundTimes, t)
-					}
-				}
-				med := stats.Median(foundTimes)
+				med := st.MedianFoundTime()
 				norm := med / bound
 				tbl.MustAddRow(delta, d, k, float64(k)/threshold, st.SuccessRate(), med, norm)
 				if m <= 0.5 {

@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"antsearch/internal/agent"
-	"antsearch/internal/baseline"
-	"antsearch/internal/core"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -42,39 +40,44 @@ func runE7(ctx context.Context, cfg Config) (*Outcome, error) {
 	// strategies rather than an unlucky draw.
 	maxTime := 50 * d * d
 
-	knownDFactory, err := baseline.KnownDFactory(d)
-	if err != nil {
-		return nil, fmt.Errorf("E7: %w", err)
-	}
-	uniformFactory, err := core.UniformFactory(0.5)
-	if err != nil {
-		return nil, fmt.Errorf("E7: %w", err)
-	}
-	harmonicFactory, err := core.HarmonicRestartFactory(0.5)
-	if err != nil {
-		return nil, fmt.Errorf("E7: %w", err)
-	}
-	levyFactory, err := baseline.LevyFlightFactory(2)
-	if err != nil {
-		return nil, fmt.Errorf("E7: %w", err)
-	}
+	// Every contender resolves through the scenario registry; the display
+	// name pins the historical table rows and cell seeds.
 	contenders := []struct {
-		name    string
-		factory agent.Factory
+		name     string
+		scenario string
+		params   scenario.Params
 	}{
-		{"random-walk", baseline.RandomWalkFactory()},
-		{"levy-flight(mu=2)", levyFactory},
-		{"single-spiral", baseline.SingleSpiralFactory()},
-		{"known-D", knownDFactory},
-		{"sector-sweep", baseline.SectorSweepFactory()},
-		{"known-k", core.Factory()},
-		{"uniform(0.5)", uniformFactory},
-		{"harmonic-restart(0.5)", harmonicFactory},
+		{"random-walk", "random-walk", scenario.Params{}},
+		{"levy-flight(mu=2)", "levy", scenario.Params{Mu: 2}},
+		{"single-spiral", "single-spiral", scenario.Params{}},
+		{"known-D", "known-d", scenario.Params{D: d}},
+		{"sector-sweep", "sector-sweep", scenario.Params{}},
+		{"known-k", "known-k", scenario.Params{}},
+		{"uniform(0.5)", "uniform", scenario.Params{Epsilon: 0.5}},
+		{"harmonic-restart(0.5)", "harmonic-restart", scenario.Params{Delta: 0.5}},
 	}
 
 	out := &Outcome{}
 	tbl := table.New(fmt.Sprintf("E7: all strategies at D = %d (cap %d steps)", d, maxTime),
 		"algorithm", "k", "success rate", "mean time", "median time", "ratio vs D+D²/k")
+
+	var cells []sweepCell
+	for _, c := range contenders {
+		factory, err := factoryFor(c.scenario, c.params)
+		if err != nil {
+			return nil, fmt.Errorf("E7: %w", err)
+		}
+		for _, k := range agents {
+			cells = append(cells, sweepCell{
+				label:   fmt.Sprintf("E7/%s/k=%d", c.name, k),
+				factory: factory, k: k, d: d, trials: trials, maxTime: maxTime,
+			})
+		}
+	}
+	sweep, err := runSweep(ctx, cfg, cells)
+	if err != nil {
+		return nil, err
+	}
 
 	// Collect key cells for the checks.
 	type cell struct {
@@ -82,14 +85,12 @@ func runE7(ctx context.Context, cfg Config) (*Outcome, error) {
 		mean    float64
 	}
 	results := make(map[string]map[int]cell)
+	idx := 0
 	for _, c := range contenders {
 		results[c.name] = make(map[int]cell)
 		for _, k := range agents {
-			label := fmt.Sprintf("E7/%s/k=%d", c.name, k)
-			st, err := measure(ctx, cfg, c.factory, k, d, trials, maxTime, label)
-			if err != nil {
-				return nil, err
-			}
+			st := sweep[idx]
+			idx++
 			tbl.MustAddRow(c.name, k, st.SuccessRate(), st.MeanTime(), st.MedianTime(), st.MeanRatio())
 			results[c.name][k] = cell{success: st.SuccessRate(), mean: st.MeanTime()}
 		}

@@ -4,10 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"antsearch/internal/agent"
-	"antsearch/internal/baseline"
-	"antsearch/internal/core"
 	"antsearch/internal/metrics"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -33,39 +31,48 @@ func runE8(ctx context.Context, cfg Config) (*Outcome, error) {
 	trials := pick(cfg, 10, 40, 100)
 	agents := geometricInts(1, maxK)
 
-	uniformFactory, err := core.UniformFactory(0.5)
-	if err != nil {
-		return nil, fmt.Errorf("E8: %w", err)
-	}
-	harmonicFactory, err := core.HarmonicRestartFactory(0.5)
-	if err != nil {
-		return nil, fmt.Errorf("E8: %w", err)
-	}
 	contenders := []struct {
-		name    string
-		factory agent.Factory
+		name     string
+		scenario string
+		params   scenario.Params
 	}{
-		{"known-k", core.Factory()},
-		{"uniform(0.5)", uniformFactory},
-		{"harmonic-restart(0.5)", harmonicFactory},
-		{"sector-sweep", baseline.SectorSweepFactory()},
-		{"single-spiral", baseline.SingleSpiralFactory()},
+		{"known-k", "known-k", scenario.Params{}},
+		{"uniform(0.5)", "uniform", scenario.Params{Epsilon: 0.5}},
+		{"harmonic-restart(0.5)", "harmonic-restart", scenario.Params{Delta: 0.5}},
+		{"sector-sweep", "sector-sweep", scenario.Params{}},
+		{"single-spiral", "single-spiral", scenario.Params{}},
 	}
 
 	out := &Outcome{}
 	tbl := table.New(fmt.Sprintf("E8: speed-up T(1)/T(k) at D = %d", d),
 		"algorithm", "k", "mean time", "speed-up", "speed-up / k")
 
+	var cells []sweepCell
+	for _, c := range contenders {
+		factory, err := factoryFor(c.scenario, c.params)
+		if err != nil {
+			return nil, fmt.Errorf("E8: %w", err)
+		}
+		for _, k := range agents {
+			cells = append(cells, sweepCell{
+				label:   fmt.Sprintf("E8/%s/k=%d", c.name, k),
+				factory: factory, k: k, d: d, trials: trials,
+			})
+		}
+	}
+	sweep, err := runSweep(ctx, cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	speedups := make(map[string]map[int]float64)
+	idx := 0
 	for _, c := range contenders {
 		speedups[c.name] = make(map[int]float64)
 		var t1 float64
 		for _, k := range agents {
-			label := fmt.Sprintf("E8/%s/k=%d", c.name, k)
-			st, err := measure(ctx, cfg, c.factory, k, d, trials, 0, label)
-			if err != nil {
-				return nil, err
-			}
+			st := sweep[idx]
+			idx++
 			if k == 1 {
 				t1 = st.MeanTime()
 			}

@@ -5,9 +5,8 @@ import (
 	"fmt"
 
 	"antsearch/internal/agent"
-	"antsearch/internal/baseline"
-	"antsearch/internal/core"
 	"antsearch/internal/metrics"
+	"antsearch/internal/scenario"
 	"antsearch/internal/sim"
 	"antsearch/internal/table"
 	"antsearch/internal/xrand"
@@ -34,17 +33,28 @@ func runE9(ctx context.Context, cfg Config) (*Outcome, error) {
 	agents := pick(cfg, []int{1, 4, 16}, []int{1, 4, 16, 64}, []int{1, 4, 16, 64, 128})
 	trials := pick(cfg, 3, 8, 20)
 
-	uniformFactory, err := core.UniformFactory(0.5)
-	if err != nil {
-		return nil, fmt.Errorf("E9: %w", err)
+	// The exact (cell-level) engine drives the coverage analysis directly,
+	// but the contenders still resolve through the scenario registry.
+	specs := []struct {
+		name     string
+		scenario string
+		params   scenario.Params
+	}{
+		{"known-k", "known-k", scenario.Params{}},
+		{"uniform(0.5)", "uniform", scenario.Params{Epsilon: 0.5}},
+		{"sector-sweep", "sector-sweep", scenario.Params{}},
 	}
-	contenders := []struct {
+	contenders := make([]struct {
 		name    string
 		factory agent.Factory
-	}{
-		{"known-k", core.Factory()},
-		{"uniform(0.5)", uniformFactory},
-		{"sector-sweep", baseline.SectorSweepFactory()},
+	}, len(specs))
+	for i, s := range specs {
+		factory, err := factoryFor(s.scenario, s.params)
+		if err != nil {
+			return nil, fmt.Errorf("E9: %w", err)
+		}
+		contenders[i].name = s.name
+		contenders[i].factory = factory
 	}
 
 	out := &Outcome{}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"antsearch/internal/core"
+	"antsearch/internal/scenario"
 	"antsearch/internal/table"
 )
 
@@ -42,7 +42,7 @@ func runE10(ctx context.Context, cfg Config) (*Outcome, error) {
 		"epsilon", "mean time", "ratio", "ratio / log^(1+ε) k")
 	ratioByEps := make(map[float64]float64)
 	for _, eps := range epsilons {
-		factory, err := core.UniformFactory(eps)
+		factory, err := factoryFor("uniform", scenario.Params{Epsilon: eps})
 		if err != nil {
 			return nil, fmt.Errorf("E10: %w", err)
 		}
@@ -72,11 +72,11 @@ func runE10(ctx context.Context, cfg Config) (*Outcome, error) {
 		"delta", "k / D^δ", "one-shot success", "restart mean time", "restart ratio")
 	successes := make(map[float64]float64)
 	for _, delta := range deltas {
-		oneShot, err := core.HarmonicFactory(delta)
+		oneShot, err := factoryFor("harmonic", scenario.Params{Delta: delta})
 		if err != nil {
 			return nil, fmt.Errorf("E10: %w", err)
 		}
-		restart, err := core.HarmonicRestartFactory(delta)
+		restart, err := factoryFor("harmonic-restart", scenario.Params{Delta: delta})
 		if err != nil {
 			return nil, fmt.Errorf("E10: %w", err)
 		}

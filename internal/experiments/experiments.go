@@ -15,8 +15,8 @@ import (
 	"math"
 	"sort"
 
-	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
+	"antsearch/internal/scenario"
 	"antsearch/internal/sim"
 	"antsearch/internal/table"
 	"antsearch/internal/xrand"
@@ -162,26 +162,55 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// sweepCell is one labelled measurement of an experiment sweep: a (factory,
+// k, D) cell whose randomness derives from the experiment seed and the label.
+type sweepCell struct {
+	label   string
+	factory agent.Factory
+	k, d    int
+	trials  int
+	maxTime int
+}
+
+// runSweep executes the cells through the scenario sweep engine (streaming,
+// sharded Monte Carlo with a uniform-ring adversary), returning statistics
+// index for index.
+func runSweep(ctx context.Context, cfg Config, cells []sweepCell) ([]sim.TrialStats, error) {
+	resolved := make([]scenario.Cell, len(cells))
+	for i, c := range cells {
+		resolved[i] = scenario.Cell{
+			Scenario: c.label,
+			Factory:  c.factory,
+			K:        c.k,
+			D:        c.d,
+			Trials:   c.trials,
+			MaxTime:  c.maxTime,
+			Seed:     xrand.DeriveSeed(cfg.Seed, hashLabel(c.label)),
+		}
+	}
+	stats, err := scenario.Runner{Workers: cfg.Workers}.Run(ctx, resolved)
+	if err != nil {
+		return nil, fmt.Errorf("experiment cell: %w", err)
+	}
+	return stats, nil
+}
+
 // measure runs a Monte-Carlo estimation for one (factory, k, D) cell with a
 // uniform-ring adversary. It is the shared workhorse of the experiments.
 func measure(ctx context.Context, cfg Config, factory agent.Factory, k, d, trials, maxTime int, label string) (sim.TrialStats, error) {
-	ring, err := adversary.NewUniformRing(d)
+	stats, err := runSweep(ctx, cfg, []sweepCell{{
+		label: label, factory: factory, k: k, d: d, trials: trials, maxTime: maxTime,
+	}})
 	if err != nil {
-		return sim.TrialStats{}, fmt.Errorf("experiment cell %s: %w", label, err)
+		return sim.TrialStats{}, err
 	}
-	st, err := sim.MonteCarlo(ctx, sim.TrialConfig{
-		Factory:   factory,
-		NumAgents: k,
-		Adversary: ring,
-		Trials:    trials,
-		Seed:      xrand.DeriveSeed(cfg.Seed, hashLabel(label)),
-		MaxTime:   maxTime,
-		Workers:   cfg.Workers,
-	})
-	if err != nil {
-		return sim.TrialStats{}, fmt.Errorf("experiment cell %s: %w", label, err)
-	}
-	return st, nil
+	return stats[0], nil
+}
+
+// factoryFor resolves a registered scenario into the advice-model factory an
+// experiment sweeps.
+func factoryFor(name string, p scenario.Params) (agent.Factory, error) {
+	return scenario.Factory(name, p)
 }
 
 // hashLabel derives a stable stream index from a cell label so that distinct

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"fmt"
+
+	"antsearch/internal/agent"
+	"antsearch/internal/baseline"
+	"antsearch/internal/core"
+)
+
+// The built-in scenarios: the paper's algorithms, the natural extensions and
+// the baselines the experiments compare against. Default grids keep a sweep
+// of any single scenario in the sub-minute range on a laptop.
+func init() {
+	defaultKs := []int{1, 4, 16, 64}
+	defaultDs := []int{16, 32, 64, 128}
+	const defaultTrials = 32
+
+	MustRegister(Scenario{
+		Name:        "known-k",
+		Description: "Theorem 3.1: agents know k, expected time O(D + D²/k)",
+		Build:       func(Params) (agent.Factory, error) { return core.Factory(), nil },
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "rho-approx",
+		Description: "Corollary 3.2: agents get a ρ-approximation of k (bias = k_a/k)",
+		Build: func(p Params) (agent.Factory, error) {
+			bias := p.Bias
+			if bias == 0 && p.Rho > 0 {
+				bias = 1 / p.Rho
+			}
+			return core.RhoApproxFactory(p.Rho, bias)
+		},
+		// A single interactive run hands the agents the raw k as their
+		// estimate (k_a = k), matching the historical antsim semantics.
+		Single: func(p Params, k int) (agent.Algorithm, error) { return core.NewRhoApprox(k, p.Rho) },
+		Ks:     defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "uniform",
+		Description: "Theorem 3.3: no knowledge of k, O(log^(1+ε) k)-competitive",
+		Uniform:     true,
+		Build:       func(p Params) (agent.Factory, error) { return core.UniformFactory(p.Epsilon) },
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "harmonic",
+		Description: "Theorem 5.1: one-shot harmonic sortie with tail parameter δ",
+		Uniform:     true,
+		Build:       func(p Params) (agent.Factory, error) { return core.HarmonicFactory(p.Delta) },
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "harmonic-restart",
+		Description: "restarting harmonic sorties (uniform extension of Theorem 5.1)",
+		Uniform:     true,
+		Build:       func(p Params) (agent.Factory, error) { return core.HarmonicRestartFactory(p.Delta) },
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "approx-hedge",
+		Description: "Theorem 4.2 setting: one-sided k^ε-approximation of k",
+		Build:       func(p Params) (agent.Factory, error) { return core.ApproxHedgeFactory(p.Epsilon) },
+		// Interactively the advice is the raw k itself (kTilde = k).
+		Single: func(p Params, k int) (agent.Algorithm, error) { return core.NewApproxHedge(k, p.Epsilon) },
+		Ks:     defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "single-spiral",
+		Description: "classical cow-path spiral baseline, Θ(D²), no speed-up from k",
+		Uniform:     true,
+		Build:       func(Params) (agent.Factory, error) { return baseline.SingleSpiralFactory(), nil },
+		Ks:          []int{1, 4, 16}, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "random-walk",
+		Description: "k independent random walks (infinite expected hitting time)",
+		Uniform:     true,
+		Build:       func(Params) (agent.Factory, error) { return baseline.RandomWalkFactory(), nil },
+		Ks:          []int{1, 4, 16}, Ds: []int{8, 16, 32}, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "levy",
+		Description: "Lévy-flight baseline with tail exponent μ in (1, 3]",
+		Uniform:     true,
+		Build:       func(p Params) (agent.Factory, error) { return baseline.LevyFlightFactory(p.Mu) },
+		Ks:          []int{1, 4, 16}, Ds: []int{16, 32, 64}, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "sector-sweep",
+		Description: "centrally coordinated sector sweep (full coordination reference)",
+		Build:       func(Params) (agent.Factory, error) { return baseline.SectorSweepFactory(), nil },
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "known-d",
+		Description: "walk-out-and-sweep baseline for agents that know D, O(D)",
+		Build: func(p Params) (agent.Factory, error) {
+			if p.D < 1 {
+				return nil, fmt.Errorf("known-d needs the treasure distance (Params.D), got %d", p.D)
+			}
+			return baseline.KnownDFactory(p.D)
+		},
+		Ks: []int{1, 4}, Ds: defaultDs, Trials: defaultTrials,
+	})
+}

@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"testing"
+
+	"antsearch/internal/agent"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	t.Parallel()
+
+	want := []string{"known-k", "rho-approx", "uniform", "harmonic", "harmonic-restart",
+		"approx-hedge", "single-spiral", "random-walk", "levy", "sector-sweep", "known-d"}
+	for _, name := range want {
+		s, ok := Get(name)
+		if !ok {
+			t.Errorf("built-in scenario %q not registered", name)
+			continue
+		}
+		if s.Description == "" {
+			t.Errorf("%q has no description", name)
+		}
+		if len(s.Ks) == 0 || len(s.Ds) == 0 || s.Trials < 1 {
+			t.Errorf("%q has no default sweep ranges", name)
+		}
+	}
+	if len(Names()) != len(want) {
+		t.Errorf("registry holds %d scenarios, want %d: %v", len(Names()), len(want), Names())
+	}
+	if len(All()) != len(want) {
+		t.Errorf("All() returns %d scenarios, want %d", len(All()), len(want))
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	t.Parallel()
+
+	if err := Register(Scenario{}); err == nil {
+		t.Error("registering a nameless scenario should fail")
+	}
+	if err := Register(Scenario{Name: "no-build"}); err == nil {
+		t.Error("registering without Build should fail")
+	}
+	if err := Register(Scenario{
+		Name:  "known-k",
+		Build: func(Params) (agent.Factory, error) { return nil, nil },
+	}); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+}
+
+func TestFactoryResolution(t *testing.T) {
+	t.Parallel()
+
+	p := DefaultParams()
+	for _, name := range Names() {
+		params := p
+		params.D = 16 // known-d needs a distance
+		f, err := Factory(name, params)
+		if err != nil {
+			t.Errorf("Factory(%q): %v", name, err)
+			continue
+		}
+		if alg := f(4); alg == nil || alg.Name() == "" {
+			t.Errorf("Factory(%q) built an unusable algorithm", name)
+		}
+	}
+	if _, err := Factory("no-such-scenario", p); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if _, err := Factory("uniform", Params{}); err == nil {
+		t.Error("uniform with epsilon 0 should fail")
+	}
+	if _, err := Factory("levy", Params{Mu: 0.5}); err == nil {
+		t.Error("levy with mu outside (1, 3] should fail")
+	}
+	if _, err := Factory("known-d", Params{}); err == nil {
+		t.Error("known-d without a distance should fail")
+	}
+}
+
+func TestAlgorithmResolution(t *testing.T) {
+	t.Parallel()
+
+	p := DefaultParams()
+	p.D = 16
+	for _, name := range Names() {
+		alg, err := Algorithm(name, p, 4)
+		if err != nil {
+			t.Errorf("Algorithm(%q): %v", name, err)
+			continue
+		}
+		if alg.Name() == "" {
+			t.Errorf("Algorithm(%q) has an empty name", name)
+		}
+	}
+	if _, err := Algorithm("no-such-scenario", p, 4); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	// The advice scenarios expose single-run semantics: the agents' estimate
+	// is the raw k, not the factory-derived advice.
+	if _, err := Algorithm("rho-approx", Params{Rho: 0.5}, 4); err == nil {
+		t.Error("rho-approx with rho < 1 should fail")
+	}
+}
+
+func TestDefaultParamsUsable(t *testing.T) {
+	t.Parallel()
+
+	p := DefaultParams()
+	if p.Epsilon <= 0 || p.Delta <= 0 || p.Rho < 1 || p.Mu <= 1 {
+		t.Errorf("DefaultParams are not usable: %+v", p)
+	}
+	// Bias zero selects the conservative end of [1/rho, rho].
+	if _, err := Factory("rho-approx", p); err != nil {
+		t.Errorf("rho-approx with default params: %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"antsearch/internal/adversary"
+	"antsearch/internal/agent"
+	"antsearch/internal/sim"
+)
+
+// Cell is one fully resolved configuration of a sweep: a named strategy with
+// its advice-model factory, an instance size (k, D), a trial budget and the
+// seed its trials derive their randomness from.
+type Cell struct {
+	// Scenario is the name the cell is reported under in tables.
+	Scenario string
+	// Factory is the advice-model factory executed by the trials.
+	Factory agent.Factory
+	// K is the number of agents; D the treasure distance.
+	K, D int
+	// Trials is the number of Monte-Carlo trials.
+	Trials int
+	// MaxTime caps each trial (0 = engine default).
+	MaxTime int
+	// Seed is the base seed for this cell; per-trial streams derive from it.
+	Seed uint64
+	// Adversary places the treasure each trial. Nil selects the uniform ring
+	// at distance D, the default placement of all experiments.
+	Adversary adversary.Strategy
+}
+
+// Runner executes sweep cells through the streaming Monte-Carlo engine:
+// every cell's trials are partitioned into deterministic shards, fanned out
+// over workers, aggregated per shard with streaming accumulators and merged
+// in shard order. Memory per cell is bounded by the sketch cap, never by the
+// trial budget.
+type Runner struct {
+	// Workers bounds the number of goroutines used per cell (0 = GOMAXPROCS).
+	Workers int
+}
+
+// RunOne executes a single cell and returns its aggregated statistics.
+func (r Runner) RunOne(ctx context.Context, cell Cell) (sim.TrialStats, error) {
+	adv := cell.Adversary
+	if adv == nil {
+		ring, err := adversary.NewUniformRing(cell.D)
+		if err != nil {
+			return sim.TrialStats{}, fmt.Errorf("scenario: cell %s k=%d D=%d: %w",
+				cell.Scenario, cell.K, cell.D, err)
+		}
+		adv = ring
+	}
+	st, err := sim.MonteCarlo(ctx, sim.TrialConfig{
+		Factory:   cell.Factory,
+		NumAgents: cell.K,
+		Adversary: adv,
+		Trials:    cell.Trials,
+		Seed:      cell.Seed,
+		MaxTime:   cell.MaxTime,
+		Workers:   r.Workers,
+	})
+	if err != nil {
+		return sim.TrialStats{}, fmt.Errorf("scenario: cell %s k=%d D=%d: %w",
+			cell.Scenario, cell.K, cell.D, err)
+	}
+	return st, nil
+}
+
+// Run executes the cells in order and returns their statistics, index for
+// index. Cells run sequentially — the parallelism lives inside each cell,
+// across its trial shards — so results and their order are deterministic.
+func (r Runner) Run(ctx context.Context, cells []Cell) ([]sim.TrialStats, error) {
+	out := make([]sim.TrialStats, len(cells))
+	for i, cell := range cells {
+		st, err := r.RunOne(ctx, cell)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// Grid describes a (scenario × D × k) sweep in terms of registry names and
+// ranges; Cells expands it into the runner's cell list, resolving every
+// factory through the registry.
+type Grid struct {
+	// Scenarios are registry names, swept in the given order.
+	Scenarios []string
+	// Params parameterises the scenarios. A zero Params.D is filled in per
+	// cell with the cell's D (how known-d learns its distance).
+	Params Params
+	// Ks and Ds are the agent counts and treasure distances. Empty ranges
+	// fall back to each scenario's registered defaults.
+	Ks, Ds []int
+	// Trials is the per-cell trial budget (0 = the scenario's default).
+	Trials int
+	// MaxTime caps each trial (0 = engine default).
+	MaxTime int
+	// Seed seeds every cell. All cells share it — per-trial streams already
+	// derive from (seed, trial), and a shared seed keeps a sweep's cells
+	// comparable under common random numbers.
+	Seed uint64
+}
+
+// Cells expands the grid, scenario-major, then by D, then by k (the
+// traditional sweep-table row order).
+func (g Grid) Cells() ([]Cell, error) {
+	var cells []Cell
+	for _, name := range g.Scenarios {
+		scn, ok := Get(name)
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown scenario %q", name)
+		}
+		ks := g.Ks
+		if len(ks) == 0 {
+			ks = scn.Ks
+		}
+		ds := g.Ds
+		if len(ds) == 0 {
+			ds = scn.Ds
+		}
+		trials := g.Trials
+		if trials == 0 {
+			trials = scn.Trials
+		}
+		if len(ks) == 0 || len(ds) == 0 || trials < 1 {
+			return nil, fmt.Errorf("scenario: %q has no usable k/D/trials ranges", name)
+		}
+		for _, d := range ds {
+			p := g.Params
+			if p.D == 0 {
+				p.D = d
+			}
+			factory, err := scn.Build(p)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %q: %w", name, err)
+			}
+			for _, k := range ks {
+				cells = append(cells, Cell{
+					Scenario: name,
+					Factory:  factory,
+					K:        k,
+					D:        d,
+					Trials:   trials,
+					MaxTime:  g.MaxTime,
+					Seed:     g.Seed,
+				})
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"antsearch/internal/adversary"
+	"antsearch/internal/sim"
+)
+
+func TestGridCellsExpansion(t *testing.T) {
+	t.Parallel()
+
+	g := Grid{
+		Scenarios: []string{"known-k", "known-d"},
+		Params:    DefaultParams(),
+		Ks:        []int{1, 4},
+		Ds:        []int{8, 16},
+		Trials:    5,
+		Seed:      3,
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("expanded %d cells, want 8", len(cells))
+	}
+	// Scenario-major, then D, then k.
+	want := []struct {
+		name string
+		k, d int
+	}{
+		{"known-k", 1, 8}, {"known-k", 4, 8}, {"known-k", 1, 16}, {"known-k", 4, 16},
+		{"known-d", 1, 8}, {"known-d", 4, 8}, {"known-d", 1, 16}, {"known-d", 4, 16},
+	}
+	for i, w := range want {
+		c := cells[i]
+		if c.Scenario != w.name || c.K != w.k || c.D != w.d || c.Trials != 5 || c.Seed != 3 {
+			t.Errorf("cell %d = {%s k=%d D=%d trials=%d seed=%d}, want {%s k=%d D=%d trials=5 seed=3}",
+				i, c.Scenario, c.K, c.D, c.Trials, c.Seed, w.name, w.k, w.d)
+		}
+		if c.Factory == nil {
+			t.Errorf("cell %d has no factory", i)
+		}
+	}
+	// known-d cells must have been parameterised with their own D: the
+	// resolved algorithm's name embeds it.
+	if name := cells[4].Factory(1).Name(); name != "known-d(D=8)" {
+		t.Errorf("known-d cell at D=8 resolves to %q", name)
+	}
+	if name := cells[6].Factory(1).Name(); name != "known-d(D=16)" {
+		t.Errorf("known-d cell at D=16 resolves to %q", name)
+	}
+}
+
+func TestGridCellsErrors(t *testing.T) {
+	t.Parallel()
+
+	if _, err := (Grid{Scenarios: []string{"nope"}, Ks: []int{1}, Ds: []int{8}, Trials: 1}).Cells(); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if _, err := (Grid{
+		Scenarios: []string{"uniform"},
+		Params:    Params{}, // epsilon 0 is invalid for uniform
+		Ks:        []int{1}, Ds: []int{8}, Trials: 1,
+	}).Cells(); err == nil {
+		t.Error("invalid parameters should fail at expansion")
+	}
+}
+
+func TestGridDefaultsFromRegistry(t *testing.T) {
+	t.Parallel()
+
+	cells, err := Grid{Scenarios: []string{"known-k"}, Params: DefaultParams(), Seed: 1}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, _ := Get("known-k")
+	if len(cells) != len(scn.Ks)*len(scn.Ds) {
+		t.Errorf("expanded %d cells, want the scenario's %d defaults", len(cells), len(scn.Ks)*len(scn.Ds))
+	}
+	if cells[0].Trials != scn.Trials {
+		t.Errorf("trials = %d, want the scenario default %d", cells[0].Trials, scn.Trials)
+	}
+}
+
+// TestRunnerMatchesMonteCarlo pins the engine's contract: a cell runs exactly
+// the sim.MonteCarlo trial semantics, so statistics are identical to calling
+// the simulator directly with the same configuration.
+func TestRunnerMatchesMonteCarlo(t *testing.T) {
+	t.Parallel()
+
+	factory, err := Factory("known-k", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{Scenario: "known-k", Factory: factory, K: 3, D: 10, Trials: 25, Seed: 99}
+	got, err := Runner{}.RunOne(context.Background(), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ring, err := adversary.NewUniformRing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.MonteCarlo(context.Background(), sim.TrialConfig{
+		Factory:   factory,
+		NumAgents: 3,
+		Adversary: ring,
+		Trials:    25,
+		Seed:      99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("runner stats differ from direct MonteCarlo:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+func TestRunnerRunOrder(t *testing.T) {
+	t.Parallel()
+
+	factory, err := Factory("known-k", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []Cell{
+		{Scenario: "known-k", Factory: factory, K: 1, D: 6, Trials: 4, Seed: 5},
+		{Scenario: "known-k", Factory: factory, K: 4, D: 12, Trials: 4, Seed: 5},
+	}
+	stats, err := Runner{}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats, want 2", len(stats))
+	}
+	if stats[0].NumAgents != 1 || stats[0].Distance != 6 {
+		t.Errorf("stats[0] is for k=%d D=%d, want the first cell", stats[0].NumAgents, stats[0].Distance)
+	}
+	if stats[1].NumAgents != 4 || stats[1].Distance != 12 {
+		t.Errorf("stats[1] is for k=%d D=%d, want the second cell", stats[1].NumAgents, stats[1].Distance)
+	}
+}
+
+func TestRunnerErrors(t *testing.T) {
+	t.Parallel()
+
+	factory, err := Factory("known-k", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D < 1 cannot build the default ring adversary.
+	if _, err := (Runner{}).RunOne(context.Background(), Cell{
+		Scenario: "known-k", Factory: factory, K: 1, D: 0, Trials: 1,
+	}); err == nil {
+		t.Error("D=0 should fail")
+	}
+	// An explicit adversary bypasses the default ring.
+	st, err := Runner{}.RunOne(context.Background(), Cell{
+		Scenario: "known-k", Factory: factory, K: 1, D: 6, Trials: 3,
+		Adversary: adversary.Axis{D: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Distance != 6 || st.Found != 3 {
+		t.Errorf("axis adversary run: %+v", st)
+	}
+}

@@ -51,7 +51,10 @@ func (c TrialConfig) Validate() error {
 	return nil
 }
 
-// TrialStats aggregates the outcomes of the Monte-Carlo trials.
+// TrialStats aggregates the outcomes of the Monte-Carlo trials. It is built
+// by streaming accumulators, so its size is bounded by the quantile-sketch
+// cap (stats.DefaultSketchCap) rather than by the number of trials: up to the
+// cap all quantiles are exact, beyond it they are P² estimates.
 type TrialStats struct {
 	// Config echoes the inputs that produced these statistics.
 	NumAgents int
@@ -73,9 +76,12 @@ type TrialStats struct {
 	// Ratio summarises the per-trial competitive ratio Time/(D + D²/k) over
 	// all trials (capped trials counted at the cap).
 	Ratio stats.Summary
-	// Times holds the raw per-trial first-hit times (capped trials at the
-	// cap), in trial order, for analyses that need medians or distributions.
-	Times []float64
+	// TimeQuantiles holds the per-trial first-hit time distribution over all
+	// trials (capped trials at the cap), for medians and tail analyses.
+	TimeQuantiles stats.QuantileSummary
+	// FoundTimeQuantiles holds the first-hit time distribution over only the
+	// trials that found the treasure before the cap.
+	FoundTimeQuantiles stats.QuantileSummary
 }
 
 // SuccessRate returns the fraction of trials that found the treasure.
@@ -90,8 +96,12 @@ func (s TrialStats) SuccessRate() float64 {
 // the cap), the estimator used for "expected running time" in the tables.
 func (s TrialStats) MeanTime() float64 { return s.AllTime.Mean }
 
-// MedianTime returns the median per-trial time.
-func (s TrialStats) MedianTime() float64 { return stats.Median(s.Times) }
+// MedianTime returns the median per-trial time (capped trials at the cap).
+func (s TrialStats) MedianTime() float64 { return s.TimeQuantiles.Median() }
+
+// MedianFoundTime returns the median first-hit time over the trials that
+// found the treasure before the cap (0 if none did).
+func (s TrialStats) MedianFoundTime() float64 { return s.FoundTimeQuantiles.Median() }
 
 // MeanRatio returns the mean competitive ratio.
 func (s TrialStats) MeanRatio() float64 { return s.Ratio.Mean }
@@ -102,10 +112,131 @@ func (s TrialStats) LowerBound() float64 {
 	return d + d*d/float64(s.NumAgents)
 }
 
+// TrialAccumulator folds per-trial results into streaming statistics in
+// bounded memory. Accumulators merge deterministically (Merge), which is how
+// the sweep engine combines per-shard partial aggregates. The zero value is
+// not usable; construct with NewTrialAccumulator.
+type TrialAccumulator struct {
+	numAgents int
+	distance  int
+	trials    int
+	found     int
+	capped    int
+
+	time    stats.Accumulator
+	allTime stats.Accumulator
+	ratio   stats.Accumulator
+
+	times      *stats.Sketch
+	foundTimes *stats.Sketch
+}
+
+// NewTrialAccumulator returns an empty accumulator for a configuration with
+// the given number of agents and treasure distance.
+func NewTrialAccumulator(numAgents, distance int) *TrialAccumulator {
+	return &TrialAccumulator{
+		numAgents:  numAgents,
+		distance:   distance,
+		times:      stats.NewSketch(0),
+		foundTimes: stats.NewSketch(0),
+	}
+}
+
+// Add incorporates one trial result.
+func (a *TrialAccumulator) Add(r Result) {
+	a.trials++
+	if r.Found {
+		a.found++
+		a.time.Add(float64(r.Time))
+		a.foundTimes.Add(float64(r.Time))
+	}
+	if r.Capped {
+		a.capped++
+	}
+	a.allTime.Add(float64(r.Time))
+	a.ratio.Add(r.CompetitiveRatio())
+	a.times.Add(float64(r.Time))
+}
+
+// Merge folds another accumulator into a. Merging shard accumulators in shard
+// order reproduces sequential accumulation exactly for counts, min and max,
+// bit-identically for means and variances when every shard holds a single
+// trial, and within floating-point merge error otherwise.
+func (a *TrialAccumulator) Merge(b *TrialAccumulator) {
+	a.trials += b.trials
+	a.found += b.found
+	a.capped += b.capped
+	a.time.Merge(b.time)
+	a.allTime.Merge(b.allTime)
+	a.ratio.Merge(b.ratio)
+	a.times.Merge(b.times)
+	a.foundTimes.Merge(b.foundTimes)
+}
+
+// Stats snapshots the accumulator into a TrialStats value.
+func (a *TrialAccumulator) Stats() TrialStats {
+	return TrialStats{
+		NumAgents:          a.numAgents,
+		Distance:           a.distance,
+		Trials:             a.trials,
+		Found:              a.found,
+		Capped:             a.capped,
+		Time:               a.time.Summarize(),
+		AllTime:            a.allTime.Summarize(),
+		Ratio:              a.ratio.Summarize(),
+		TimeQuantiles:      a.times.Summary(),
+		FoundTimeQuantiles: a.foundTimes.Summary(),
+	}
+}
+
+// maxShards bounds the number of trial shards a Monte-Carlo run is split
+// into. Up to maxShards trials every shard holds exactly one trial, so the
+// deterministic shard merge replays sequential aggregation bit-for-bit;
+// beyond it trials are batched into at most maxShards contiguous ranges, so
+// memory stays constant no matter how many trials run.
+const maxShards = 1024
+
+// shardRange returns the half-open trial range [lo, hi) of shard s when
+// trials are split into numShards contiguous, near-equal shards. The
+// partition depends only on the trial count, never on the worker count, so
+// aggregation is deterministic and machine-independent.
+func shardRange(trials, numShards, s int) (lo, hi int) {
+	lo = s * trials / numShards
+	hi = (s + 1) * trials / numShards
+	return lo, hi
+}
+
+// numShards returns the shard count for a trial count.
+func numShards(trials int) int {
+	if trials < maxShards {
+		return trials
+	}
+	return maxShards
+}
+
+// runTrial executes one trial of the configuration. Per-trial randomness is
+// derived from the base seed and the trial index alone, so any sharding of
+// the trial range reproduces identical per-trial results.
+func runTrial(cfg TrialConfig, alg agent.Algorithm, trial int) (Result, error) {
+	placeRNG := xrand.NewStream(cfg.Seed, 0xad5e, uint64(trial))
+	treasure := cfg.Adversary.Place(trial, placeRNG)
+	inst := Instance{
+		Algorithm: alg,
+		NumAgents: cfg.NumAgents,
+		Treasure:  treasure,
+	}
+	return Run(inst, Options{
+		Seed:    xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial)),
+		MaxTime: cfg.MaxTime,
+	})
+}
+
 // MonteCarlo runs the configured number of independent trials, fanning them
-// out over goroutines, and aggregates the results. The aggregation is
-// deterministic: it depends only on the seed and the configuration, not on
-// scheduling.
+// out over goroutines, and aggregates the results with per-shard streaming
+// accumulators merged in shard order. The aggregation is deterministic: it
+// depends only on the seed and the configuration, not on scheduling or the
+// number of workers. Memory stays bounded by the sketch cap — no per-trial
+// slice is ever materialized — so million-trial sweeps run in constant space.
 func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return TrialStats{}, err
@@ -115,56 +246,39 @@ func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 		return TrialStats{}, errors.New("sim: factory returned a nil algorithm")
 	}
 
-	results, err := parallel.Map(ctx, cfg.Trials, cfg.Workers, func(trial int) (Result, error) {
-		placeRNG := xrand.NewStream(cfg.Seed, 0xad5e, uint64(trial))
-		treasure := cfg.Adversary.Place(trial, placeRNG)
-		inst := Instance{
-			Algorithm: alg,
-			NumAgents: cfg.NumAgents,
-			Treasure:  treasure,
+	shards := numShards(cfg.Trials)
+	accs, err := parallel.Map(ctx, shards, cfg.Workers, func(s int) (*TrialAccumulator, error) {
+		acc := NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
+		lo, hi := shardRange(cfg.Trials, shards, s)
+		for trial := lo; trial < hi; trial++ {
+			if err := ctx.Err(); err != nil {
+				// Batched shards run many trials per task; observe
+				// cancellation between trials, not only between shards.
+				return nil, err
+			}
+			r, err := runTrial(cfg, alg, trial)
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(r)
 		}
-		return Run(inst, Options{
-			Seed:    xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial)),
-			MaxTime: cfg.MaxTime,
-		})
+		return acc, nil
 	})
 	if err != nil {
 		return TrialStats{}, fmt.Errorf("sim: monte carlo: %w", err)
 	}
 
-	return aggregate(cfg, results), nil
-}
-
-// aggregate folds per-trial results into TrialStats.
-func aggregate(cfg TrialConfig, results []Result) TrialStats {
-	out := TrialStats{
-		NumAgents: cfg.NumAgents,
-		Distance:  cfg.Adversary.Distance(),
-		Trials:    len(results),
-		Times:     make([]float64, 0, len(results)),
+	total := accs[0]
+	for _, acc := range accs[1:] {
+		total.Merge(acc)
 	}
-	var foundAcc, allAcc, ratioAcc stats.Accumulator
-	for _, r := range results {
-		if r.Found {
-			out.Found++
-			foundAcc.Add(float64(r.Time))
-		}
-		if r.Capped {
-			out.Capped++
-		}
-		allAcc.Add(float64(r.Time))
-		ratioAcc.Add(r.CompetitiveRatio())
-		out.Times = append(out.Times, float64(r.Time))
-	}
-	out.Time = foundAcc.Summarize()
-	out.AllTime = allAcc.Summarize()
-	out.Ratio = ratioAcc.Summarize()
-	return out
+	return total.Stats(), nil
 }
 
 // MonteCarloResults runs the trials like MonteCarlo but returns the raw
-// per-trial results (in trial order) instead of an aggregate. Experiments
-// that need joint statistics across configurations use it directly.
+// per-trial results (in trial order) instead of an aggregate. Analyses that
+// need joint statistics across configurations use it directly; unlike
+// MonteCarlo it necessarily materializes O(trials) results.
 func MonteCarloResults(ctx context.Context, cfg TrialConfig) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -174,17 +288,7 @@ func MonteCarloResults(ctx context.Context, cfg TrialConfig) ([]Result, error) {
 		return nil, errors.New("sim: factory returned a nil algorithm")
 	}
 	results, err := parallel.Map(ctx, cfg.Trials, cfg.Workers, func(trial int) (Result, error) {
-		placeRNG := xrand.NewStream(cfg.Seed, 0xad5e, uint64(trial))
-		treasure := cfg.Adversary.Place(trial, placeRNG)
-		inst := Instance{
-			Algorithm: alg,
-			NumAgents: cfg.NumAgents,
-			Treasure:  treasure,
-		}
-		return Run(inst, Options{
-			Seed:    xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial)),
-			MaxTime: cfg.MaxTime,
-		})
+		return runTrial(cfg, alg, trial)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: monte carlo: %w", err)

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"antsearch/internal/adversary"
@@ -360,8 +361,15 @@ func TestMonteCarloStats(t *testing.T) {
 	if st.LowerBound() != wantLB {
 		t.Errorf("LowerBound = %v, want %v", st.LowerBound(), wantLB)
 	}
-	if len(st.Times) != 40 {
-		t.Errorf("Times has %d entries, want 40", len(st.Times))
+	if st.TimeQuantiles.N != 40 {
+		t.Errorf("TimeQuantiles summarises %d entries, want 40", st.TimeQuantiles.N)
+	}
+	if !st.TimeQuantiles.Exact {
+		t.Error("40 trials should stay within the exact sketch cap")
+	}
+	if st.MedianFoundTime() != st.MedianTime() {
+		t.Errorf("all trials found the treasure, so found median %v should equal median %v",
+			st.MedianFoundTime(), st.MedianTime())
 	}
 }
 
@@ -395,10 +403,9 @@ func TestMonteCarloDeterministicAcrossWorkerCounts(t *testing.T) {
 	if a.AllTime != b.AllTime || a.Found != b.Found || a.Ratio != b.Ratio {
 		t.Errorf("results depend on worker count:\n1 worker: %+v\n8 workers: %+v", a, b)
 	}
-	for i := range a.Times {
-		if a.Times[i] != b.Times[i] {
-			t.Fatalf("trial %d time differs between worker counts", i)
-		}
+	if !reflect.DeepEqual(a.TimeQuantiles, b.TimeQuantiles) {
+		t.Errorf("time quantiles depend on worker count:\n1 worker: %+v\n8 workers: %+v",
+			a.TimeQuantiles, b.TimeQuantiles)
 	}
 }
 

@@ -58,6 +58,34 @@ func (a *Accumulator) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
 
+// Merge folds another accumulator into a, as if every observation added to b
+// had been added to a (Chan et al.'s parallel variance update). Merging is
+// deterministic: folding the same sequence of accumulators in the same order
+// always yields the same result. A singleton b is replayed through Add, so a
+// merge of single-observation accumulators in observation order is
+// bit-identical to sequential accumulation.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	if b.n == 1 {
+		a.Add(b.mean)
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	n := na + nb
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*na*nb/n
+	a.mean += delta * nb / n
+	a.n += b.n
+	a.min = math.Min(a.min, b.min)
+	a.max = math.Max(a.max, b.max)
+}
+
 // StdErr returns the standard error of the mean.
 func (a *Accumulator) StdErr() float64 {
 	if a.n == 0 {
