@@ -1,0 +1,364 @@
+// Command antserve puts the search harness behind a long-running HTTP
+// service: the scenario registry, the streaming sweep engine and a
+// content-addressed result cache with singleflight request deduplication, so
+// N simultaneous identical sweeps cost one simulation.
+//
+// Usage:
+//
+//	antserve [-addr :8077] [-cache-size 4096] [-workers 0]
+//	         [-cell-workers 1] [-max-cells 10000]
+//
+// Endpoints:
+//
+//	GET  /scenarios  the registry: names, descriptions, default grids (JSON)
+//	POST /sweep      a sweep grid (JSON body); results stream back as NDJSON,
+//	                 one cell-row at a time, in cell order — responses are
+//	                 constant-memory like the engine beneath them
+//	GET  /healthz    liveness probe
+//	GET  /stats      cache and in-flight counters (JSON)
+//
+// A /sweep body mirrors scenario.Grid:
+//
+//	{"scenarios": ["known-k", "uniform"], "ks": [1, 4, 16], "ds": [32],
+//	 "trials": 64, "seed": 1, "params": {"epsilon": 0.5}}
+//
+// Each response line carries the cell coordinates, a "cached" flag and the
+// full TrialStats aggregate (lossless JSON, including quantile summaries).
+// Mid-stream failures append a final NDJSON object with an "error" field.
+// Cancellation flows down: when a client disconnects, the request context
+// aborts the cell's trial fan-out inside parallel.ForEach.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"antsearch/internal/cache"
+	"antsearch/internal/parallel"
+	"antsearch/internal/scenario"
+	"antsearch/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "antserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("antserve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8077", "listen address")
+		cacheSize   = fs.Int("cache-size", cache.DefaultCapacity, "maximum cached cell results")
+		workers     = fs.Int("workers", 0, "trial-level worker goroutines per cell (0 = GOMAXPROCS)")
+		cellWorkers = fs.Int("cell-workers", 1, "cells computed concurrently per request (1 = sequential)")
+		maxCells    = fs.Int("max-cells", 10000, "largest grid a single /sweep may expand to")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cacheSize < 1 {
+		return fmt.Errorf("-cache-size must be at least 1, got %d", *cacheSize)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *cellWorkers < 1 {
+		return fmt.Errorf("-cell-workers must be at least 1, got %d", *cellWorkers)
+	}
+	if *maxCells < 1 {
+		return fmt.Errorf("-max-cells must be at least 1, got %d", *maxCells)
+	}
+
+	srv := newServer(serverConfig{
+		Workers:     *workers,
+		CellWorkers: *cellWorkers,
+		CacheSize:   *cacheSize,
+		MaxCells:    *maxCells,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// give in-flight sweeps a grace period to stream out; past it, close the
+	// server, which cancels every request context and thereby aborts the
+	// trial fan-out inside parallel.ForEach.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(logw, "antserve: listening on %s (cache %d entries, %d cell workers)\n",
+		*addr, *cacheSize, *cellWorkers)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(logw, "antserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return httpSrv.Close()
+	}
+	return nil
+}
+
+// serverConfig carries the tunables of a server instance.
+type serverConfig struct {
+	Workers     int // trial-level goroutines per cell (0 = GOMAXPROCS)
+	CellWorkers int // cells computed concurrently per request (>= 1)
+	CacheSize   int // LRU bound of the result cache
+	MaxCells    int // largest grid a single request may expand to
+}
+
+// server wires the registry, the sweep runner and the result cache behind
+// the HTTP handlers.
+type server struct {
+	cfg    serverConfig
+	runner scenario.Runner
+	cache  *cache.Cache
+	start  time.Time
+
+	activeSweeps atomic.Int64
+	totalSweeps  atomic.Int64
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.CellWorkers < 1 {
+		cfg.CellWorkers = 1
+	}
+	if cfg.MaxCells < 1 {
+		cfg.MaxCells = 10000
+	}
+	return &server{
+		cfg:    cfg,
+		runner: scenario.Runner{Workers: cfg.Workers},
+		cache:  cache.New(cfg.CacheSize),
+		start:  time.Now(),
+	}
+}
+
+// routes builds the HTTP mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// scenarioInfo is one /scenarios listing entry.
+type scenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Uniform     bool   `json:"uniform"`
+	Ks          []int  `json:"ks"`
+	Ds          []int  `json:"ds"`
+	Trials      int    `json:"trials"`
+}
+
+func (s *server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	all := scenario.All()
+	infos := make([]scenarioInfo, 0, len(all))
+	for _, scn := range all {
+		infos = append(infos, scenarioInfo{
+			Name:        scn.Name,
+			Description: scn.Description,
+			Uniform:     scn.Uniform,
+			Ks:          scn.Ks,
+			Ds:          scn.Ds,
+			Trials:      scn.Trials,
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	Cache         cache.Stats `json:"cache"`
+	ActiveSweeps  int64       `json:"active_sweeps"`
+	TotalSweeps   int64       `json:"total_sweeps"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Cache:         s.cache.Stats(),
+		ActiveSweeps:  s.activeSweeps.Load(),
+		TotalSweeps:   s.totalSweeps.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// sweepParams mirrors scenario.Params with stable lowercase JSON names.
+type sweepParams struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	Rho     float64 `json:"rho"`
+	Bias    float64 `json:"bias"`
+	Mu      float64 `json:"mu"`
+	D       int     `json:"d"`
+}
+
+// sweepRequest mirrors scenario.Grid with stable lowercase JSON names.
+type sweepRequest struct {
+	Scenarios []string    `json:"scenarios"`
+	Params    sweepParams `json:"params"`
+	Ks        []int       `json:"ks"`
+	Ds        []int       `json:"ds"`
+	Trials    int         `json:"trials"`
+	MaxTime   int         `json:"max_time"`
+	Seed      uint64      `json:"seed"`
+}
+
+func (r sweepRequest) grid() scenario.Grid {
+	return scenario.Grid{
+		Scenarios: r.Scenarios,
+		Params: scenario.Params{
+			Epsilon: r.Params.Epsilon,
+			Delta:   r.Params.Delta,
+			Rho:     r.Params.Rho,
+			Bias:    r.Params.Bias,
+			Mu:      r.Params.Mu,
+			D:       r.Params.D,
+		},
+		Ks:      r.Ks,
+		Ds:      r.Ds,
+		Trials:  r.Trials,
+		MaxTime: r.MaxTime,
+		Seed:    r.Seed,
+	}
+}
+
+// sweepRow is one NDJSON response line: the cell coordinates, whether the
+// result came from the cache, and the full aggregate. A row with a non-empty
+// Error field terminates the stream.
+type sweepRow struct {
+	Index    int             `json:"index"`
+	Scenario string          `json:"scenario,omitempty"`
+	K        int             `json:"k,omitempty"`
+	D        int             `json:"d,omitempty"`
+	Trials   int             `json:"trials,omitempty"`
+	Seed     uint64          `json:"seed,omitempty"`
+	Cached   bool            `json:"cached"`
+	Stats    *sim.TrialStats `json:"stats,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// cellResult pairs a computed aggregate with its cache disposition.
+type cellResult struct {
+	stats  sim.TrialStats
+	cached bool
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.activeSweeps.Add(1)
+	s.totalSweeps.Add(1)
+	defer s.activeSweeps.Add(-1)
+
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req sweepRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	grid := req.grid()
+	cells, err := grid.Cells()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(cells) > s.cfg.MaxCells {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"grid expands to %d cells, the server accepts at most %d per request",
+			len(cells), s.cfg.MaxCells)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+
+	// Stream the cells in order, computing up to CellWorkers of them
+	// concurrently per chunk. Identical cells — within this request or
+	// across concurrent requests — collapse in the cache, so N simultaneous
+	// identical sweeps run one simulation. Memory per request is bounded by
+	// the chunk, never by the grid.
+	for lo := 0; lo < len(cells); lo += s.cfg.CellWorkers {
+		hi := min(lo+s.cfg.CellWorkers, len(cells))
+		chunk := cells[lo:hi]
+		results, err := parallel.Map(ctx, len(chunk), s.cfg.CellWorkers, func(i int) (cellResult, error) {
+			cell := chunk[i]
+			key := cache.CellKey(cell, grid.Params)
+			st, cached, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.TrialStats, error) {
+				return s.runner.RunOne(ctx, cell)
+			})
+			if err != nil {
+				return cellResult{}, err
+			}
+			return cellResult{stats: st, cached: cached}, nil
+		})
+		if err != nil {
+			// Rows already streamed are gone; report the failure in-band as
+			// the final NDJSON object.
+			_ = enc.Encode(sweepRow{Index: lo, Error: err.Error()})
+			return
+		}
+		for i, res := range results {
+			cell := chunk[i]
+			row := sweepRow{
+				Index:    lo + i,
+				Scenario: cell.Scenario,
+				K:        cell.K,
+				D:        cell.D,
+				Trials:   cell.Trials,
+				Seed:     cell.Seed,
+				Cached:   res.cached,
+				Stats:    &res.stats,
+			}
+			if err := enc.Encode(row); err != nil {
+				return // client went away
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"antsearch/internal/agent"
+	"antsearch/internal/core"
+	"antsearch/internal/scenario"
+)
+
+// simulationsRun counts factory resolutions of the test-only scenario, i.e.
+// how many simulations the engine actually started for it: the quantity the
+// singleflight acceptance test pins to 1.
+var simulationsRun atomic.Int64
+
+func init() {
+	inner := core.Factory()
+	scenario.MustRegister(scenario.Scenario{
+		Name:        "test-counting",
+		Description: "test-only known-k wrapper that counts engine invocations",
+		Build: func(scenario.Params) (agent.Factory, error) {
+			return func(k int) agent.Algorithm {
+				simulationsRun.Add(1)
+				return inner(k)
+			}, nil
+		},
+		Ks: []int{1}, Ds: []int{4}, Trials: 4,
+	})
+}
+
+func newTestServer(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(cfg).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postSweep(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeRows(t *testing.T, resp *http.Response) []sweepRow {
+	t.Helper()
+	defer resp.Body.Close()
+	var rows []sweepRow
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var row sweepRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestHealthz(t *testing.T) {
+	t.Parallel()
+
+	ts := newTestServer(t, serverConfig{CacheSize: 16})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestScenariosListsRegistry(t *testing.T) {
+	t.Parallel()
+
+	ts := newTestServer(t, serverConfig{CacheSize: 16})
+	resp, err := http.Get(ts.URL + "/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []scenarioInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, info := range infos {
+		names[info.Name] = true
+	}
+	for _, want := range []string{"known-k", "uniform", "harmonic", "levy"} {
+		if !names[want] {
+			t.Errorf("listing is missing %q", want)
+		}
+	}
+}
+
+func TestSweepStreamsNDJSONRows(t *testing.T) {
+	t.Parallel()
+
+	ts := newTestServer(t, serverConfig{CacheSize: 64})
+	body := `{"scenarios": ["known-k", "uniform"], "ks": [1, 2], "ds": [5],
+	          "trials": 6, "seed": 9, "params": {"epsilon": 0.5}}`
+
+	resp := postSweep(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	rows := decodeRows(t, resp)
+	if len(rows) != 4 { // 2 scenarios × 1 D × 2 ks
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	wantOrder := []struct {
+		scn string
+		k   int
+	}{{"known-k", 1}, {"known-k", 2}, {"uniform", 1}, {"uniform", 2}}
+	for i, row := range rows {
+		if row.Error != "" {
+			t.Fatalf("row %d carries an error: %s", i, row.Error)
+		}
+		if row.Index != i || row.Scenario != wantOrder[i].scn || row.K != wantOrder[i].k {
+			t.Errorf("row %d = {index=%d %s k=%d}, want {index=%d %s k=%d}",
+				i, row.Index, row.Scenario, row.K, i, wantOrder[i].scn, wantOrder[i].k)
+		}
+		if row.Stats == nil || row.Stats.Trials != 6 || row.Stats.NumAgents != row.K {
+			t.Errorf("row %d stats = %+v", i, row.Stats)
+		}
+		if row.Cached {
+			t.Errorf("row %d cached on a cold cache", i)
+		}
+	}
+
+	// The identical request again: every row must now come from the cache
+	// with byte-identical statistics.
+	again := decodeRows(t, postSweep(t, ts.URL, body))
+	if len(again) != len(rows) {
+		t.Fatalf("second request returned %d rows", len(again))
+	}
+	for i := range again {
+		if !again[i].Cached {
+			t.Errorf("row %d not served from cache on the second request", i)
+		}
+		a, _ := json.Marshal(rows[i].Stats)
+		b, _ := json.Marshal(again[i].Stats)
+		if !bytes.Equal(a, b) {
+			t.Errorf("row %d stats changed between identical requests:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}
+
+// TestConcurrentIdenticalSweepsRunOneSimulation is the acceptance test for
+// the serving tentpole: N simultaneous identical /sweep requests must cost
+// exactly one simulation, with the cache counters proving the collapse.
+func TestConcurrentIdenticalSweepsRunOneSimulation(t *testing.T) {
+	srv := newServer(serverConfig{CacheSize: 16})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	simulationsRun.Store(0)
+	const n = 8
+	body := `{"scenarios": ["test-counting"], "ks": [3], "ds": [4], "trials": 5, "seed": 7}`
+
+	var wg sync.WaitGroup
+	rows := make([][]sweepRow, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i] = decodeRows(t, postSweep(t, ts.URL, body))
+		}(i)
+	}
+	wg.Wait()
+
+	if got := simulationsRun.Load(); got != 1 {
+		t.Errorf("%d concurrent identical sweeps ran %d simulations, want exactly 1", n, got)
+	}
+	for i := range rows {
+		if len(rows[i]) != 1 || rows[i][0].Error != "" || rows[i][0].Stats == nil {
+			t.Errorf("request %d rows = %+v", i, rows[i])
+		}
+	}
+	st := srv.cache.Stats()
+	if st.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Joined != n-1 {
+		t.Errorf("hits (%d) + joined (%d) = %d, want %d requests deduplicated",
+			st.Hits, st.Joined, st.Hits+st.Joined, n-1)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	t.Parallel()
+
+	ts := newTestServer(t, serverConfig{CacheSize: 16, MaxCells: 3})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"invalid JSON", `{`, http.StatusBadRequest},
+		{"unknown field", `{"bogus": 1}`, http.StatusBadRequest},
+		{"unknown scenario", `{"scenarios": ["nope"], "ks": [1], "ds": [4], "trials": 1}`, http.StatusBadRequest},
+		{"zero k", `{"scenarios": ["known-k"], "ks": [0], "ds": [4], "trials": 1}`, http.StatusBadRequest},
+		{"negative D", `{"scenarios": ["known-k"], "ks": [1], "ds": [-4], "trials": 1}`, http.StatusBadRequest},
+		{"explicit D with multiple Ds", `{"scenarios": ["known-d"], "ks": [1], "ds": [4, 8], "trials": 1,
+			"params": {"d": 4}}`, http.StatusBadRequest},
+		{"too many cells", `{"scenarios": ["known-k"], "ks": [1, 2], "ds": [4, 8], "trials": 1}`,
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp := postSweep(t, ts.URL, tc.body)
+		var body map[string]string
+		err := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if err != nil || body["error"] == "" {
+			t.Errorf("%s: expected a JSON error payload, got %v (%v)", tc.name, body, err)
+		}
+	}
+
+	// Wrong method on /sweep.
+	resp, err := http.Get(ts.URL + "/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sweep status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	t.Parallel()
+
+	ts := newTestServer(t, serverConfig{CacheSize: 16})
+	decodeRows(t, postSweep(t, ts.URL,
+		`{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 1}`))
+	decodeRows(t, postSweep(t, ts.URL,
+		`{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 1}`))
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Misses != 1 || st.Cache.Hits != 1 || st.Cache.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss, 1 hit, 1 entry", st.Cache)
+	}
+	if st.TotalSweeps != 2 || st.ActiveSweeps != 0 {
+		t.Errorf("sweep counters = total %d active %d", st.TotalSweeps, st.ActiveSweeps)
+	}
+}
+
+func TestSweepCellWorkersParity(t *testing.T) {
+	t.Parallel()
+
+	body := `{"scenarios": ["known-k", "single-spiral"], "ks": [1, 2], "ds": [4, 6],
+	          "trials": 5, "seed": 11}`
+	sequential := newTestServer(t, serverConfig{CacheSize: 64, CellWorkers: 1})
+	fanned := newTestServer(t, serverConfig{CacheSize: 64, CellWorkers: 4})
+
+	a := decodeRows(t, postSweep(t, sequential.URL, body))
+	b := decodeRows(t, postSweep(t, fanned.URL, body))
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("row counts %d and %d, want 8", len(a), len(b))
+	}
+	for i := range a {
+		ja, _ := json.Marshal(a[i].Stats)
+		jb, _ := json.Marshal(b[i].Stats)
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("row %d differs between cell-worker settings:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	t.Parallel()
+
+	cases := [][]string{
+		{"-cache-size", "0"},
+		{"-workers", "-1"},
+		{"-cell-workers", "0"},
+		{"-max-cells", "0"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var logw bytes.Buffer
+		if err := run(args, &logw); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

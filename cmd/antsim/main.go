@@ -53,8 +53,20 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	if *k < 1 || *d < 1 {
-		return fmt.Errorf("need k >= 1 and d >= 1 (got k=%d, d=%d)", *k, *d)
+	// Validate every numeric knob at the CLI boundary so misuse surfaces as
+	// an actionable flag message rather than a deep engine error (or a
+	// silently ignored value).
+	if *k < 1 {
+		return fmt.Errorf("-k must be at least 1, got %d", *k)
+	}
+	if *d < 1 {
+		return fmt.Errorf("-d must be at least 1, got %d", *d)
+	}
+	if *maxTime < 0 {
+		return fmt.Errorf("-max-time must be >= 0 (0 = engine default), got %d", *maxTime)
+	}
+	if *traceRadius < 0 {
+		return fmt.Errorf("-trace-radius must be >= 0 (0 = default D + D/2), got %d", *traceRadius)
 	}
 
 	alg, err := buildAlgorithm(*algName, *k, *d, *eps, *delta, *rho, *mu)

@@ -57,7 +57,11 @@ func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-alg", "no-such-algorithm"},
 		{"-k", "0"},
+		{"-k", "-4"},
 		{"-d", "0"},
+		{"-d", "-16"},
+		{"-max-time", "-5"},
+		{"-trace", "-trace-radius", "-1"},
 		{"-alg", "uniform", "-eps", "0"},
 		{"-alg", "levy", "-mu", "0.2"},
 		{"-not-a-flag"},
@@ -66,6 +70,34 @@ func TestRunErrors(t *testing.T) {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// TestRunErrorMessagesNameTheFlag pins the CLI-boundary validation: a bad
+// value must be reported against the flag the user typed, not as a deep
+// "sim:"-prefixed engine error.
+func TestRunErrorMessagesNameTheFlag(t *testing.T) {
+	t.Parallel()
+
+	cases := map[string][]string{
+		"-k":            {"-k", "-4"},
+		"-d":            {"-d", "-16"},
+		"-max-time":     {"-max-time", "-5"},
+		"-trace-radius": {"-trace", "-trace-radius", "-1"},
+	}
+	for flagName, args := range cases {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil {
+			t.Errorf("args %v: expected an error", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), flagName) {
+			t.Errorf("args %v: error %q does not name %s", args, err, flagName)
+		}
+		if strings.HasPrefix(err.Error(), "sim:") {
+			t.Errorf("args %v: error %q leaked from the engine instead of the CLI boundary", args, err)
 		}
 	}
 }

@@ -61,6 +61,9 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	// Validate every numeric knob at the CLI boundary so misuse surfaces as
+	// an actionable flag message, not a deep engine error (or a silently
+	// ignored value) later on.
 	ks, err := parseInts(*kList)
 	if err != nil {
 		return fmt.Errorf("-k: %w", err)
@@ -70,7 +73,13 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-d: %w", err)
 	}
 	if *trials < 1 {
-		return fmt.Errorf("-trials must be at least 1")
+		return fmt.Errorf("-trials must be at least 1, got %d", *trials)
+	}
+	if *maxTime < 0 {
+		return fmt.Errorf("-max-time must be >= 0 (0 = engine default), got %d", *maxTime)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
 	}
 
 	var names []string
@@ -125,17 +134,6 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 	return nil
-}
-
-// buildFactory resolves an algorithm name through the scenario registry.
-func buildFactory(name string, d int, eps, delta, rho, mu float64) (antsearch.Factory, error) {
-	return antsearch.ScenarioFactory(name, antsearch.ScenarioParams{
-		Epsilon: eps,
-		Delta:   delta,
-		Rho:     rho,
-		Mu:      mu,
-		D:       d,
-	})
 }
 
 // parseInts parses a comma-separated list of positive integers.

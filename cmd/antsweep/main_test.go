@@ -82,6 +82,9 @@ func TestSweepErrors(t *testing.T) {
 		{"-k", "zero"},
 		{"-d", "-5"},
 		{"-trials", "0"},
+		{"-trials", "-7"},
+		{"-max-time", "-1"},
+		{"-workers", "-2"},
 		{"-algs", "unknown-strategy"},
 		{"-format", "xml"},
 		{"-bad-flag"},
@@ -94,25 +97,59 @@ func TestSweepErrors(t *testing.T) {
 	}
 }
 
-func TestBuildFactoryCoversAllNames(t *testing.T) {
+// TestSweepErrorMessagesNameTheFlag pins the CLI-boundary validation: a bad
+// value must be reported against the flag the user typed, not as a deep
+// "sim:"- or "scenario:"-prefixed engine error.
+func TestSweepErrorMessagesNameTheFlag(t *testing.T) {
+	t.Parallel()
+
+	cases := map[string][]string{
+		"-trials":   {"-trials", "-7"},
+		"-max-time": {"-max-time", "-1"},
+		"-workers":  {"-workers", "-2"},
+		"-k":        {"-k", "-3"},
+		"-d":        {"-d", "0"},
+	}
+	for flagName, args := range cases {
+		var out bytes.Buffer
+		err := run(args, &out)
+		if err == nil {
+			t.Errorf("args %v: expected an error", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), flagName) {
+			t.Errorf("args %v: error %q does not name %s", args, err, flagName)
+		}
+		if strings.HasPrefix(err.Error(), "sim:") || strings.HasPrefix(err.Error(), "scenario:") {
+			t.Errorf("args %v: error %q leaked from the engine instead of the CLI boundary", args, err)
+		}
+	}
+}
+
+// TestSweepCoversAllScenarioNames drives the real CLI path (run → Grid →
+// registry) over every registered scenario, so a registry entry the sweep
+// tool cannot resolve fails here.
+func TestSweepCoversAllScenarioNames(t *testing.T) {
 	t.Parallel()
 
 	names := []string{"known-k", "rho-approx", "uniform", "harmonic-restart", "approx-hedge",
 		"single-spiral", "random-walk", "levy", "sector-sweep", "known-d", "harmonic"}
 	for _, name := range names {
-		f, err := buildFactory(name, 16, 0.5, 0.5, 2, 2)
+		var out bytes.Buffer
+		err := run([]string{"-algs", name, "-k", "2", "-d", "6", "-trials", "2",
+			"-max-time", "50000"}, &out)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
 		}
-		if f(3) == nil {
-			t.Errorf("%s: factory returned nil", name)
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("%s: output has no row for the scenario", name)
 		}
 	}
-	if _, err := buildFactory("bogus", 16, 0.5, 0.5, 2, 2); err == nil {
+	if err := run([]string{"-algs", "bogus", "-k", "1", "-d", "6", "-trials", "1"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if _, err := buildFactory("levy", 16, 0.5, 0.5, 2, 0.1); err == nil {
+	if err := run([]string{"-algs", "levy", "-mu", "0.1", "-k", "1", "-d", "6", "-trials", "1"}, &bytes.Buffer{}); err == nil {
 		t.Error("invalid levy parameter accepted")
 	}
 }

@@ -1,0 +1,222 @@
+// Package cache provides the content-addressed result cache of the serving
+// layer: a resolved sweep cell is fingerprinted into a canonical Key, and the
+// aggregated sim.TrialStats it produces are memoised under that key with an
+// LRU bound. Concurrent requests for the same key collapse into a single
+// computation (singleflight), so N simultaneous identical sweeps cost one
+// simulation. Everything the engine computes is a pure function of the cell
+// configuration and seed (see the determinism contract in DESIGN.md), which
+// is what makes caching by content safe: a key can never map to two
+// different results.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"antsearch/internal/scenario"
+	"antsearch/internal/sim"
+)
+
+// Key is the canonical fingerprint of a cell configuration.
+type Key string
+
+// Fingerprint hashes an ordered list of values into a Key. Every value is
+// rendered with %v and separated unambiguously, so distinct configurations
+// cannot collide by concatenation.
+func Fingerprint(parts ...any) Key {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x1f", p)
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// CellKey fingerprints a resolved cell together with the sweep parameters
+// that built its factory: scenario name, every Params knob, k, D, trial
+// budget, time cap, seed and the adversary identity. Two cells share a key
+// exactly when the engine is guaranteed to produce identical TrialStats for
+// them.
+func CellKey(c scenario.Cell, p scenario.Params) Key {
+	adv := "uniform-ring" // the runner's default placement at distance D
+	if c.Adversary != nil {
+		adv = c.Adversary.Name()
+	}
+	return Fingerprint(
+		"scenario", c.Scenario,
+		"eps", p.Epsilon, "delta", p.Delta, "rho", p.Rho, "bias", p.Bias, "mu", p.Mu, "paramD", p.D,
+		"k", c.K, "d", c.D, "trials", c.Trials, "maxTime", c.MaxTime, "seed", c.Seed,
+		"adversary", adv,
+	)
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts calls served from a completed cached entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts calls that started a new computation.
+	Misses uint64 `json:"misses"`
+	// Joined counts calls collapsed into an already-running computation for
+	// the same key (the singleflight path).
+	Joined uint64 `json:"joined"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the number of cached results currently held.
+	Entries int `json:"entries"`
+	// InFlight is the number of computations currently running.
+	InFlight int `json:"in_flight"`
+}
+
+// Cache is a bounded, concurrency-safe LRU of TrialStats keyed by cell
+// fingerprints, with singleflight collapsing. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[Key]*list.Element
+	flights  map[Key]*flight
+
+	hits, misses, joined, evictions uint64
+}
+
+// entry is one cached result, stored in the LRU list's elements.
+type entry struct {
+	key Key
+	val sim.TrialStats
+}
+
+// flight is one in-progress computation other callers may join.
+type flight struct {
+	done chan struct{} // closed when val/err are set
+	val  sim.TrialStats
+	err  error
+}
+
+// DefaultCapacity bounds the cache when New is given a non-positive capacity.
+// A cached cell is a few kilobytes (two bounded quantile summaries dominate),
+// so the default keeps the cache in the tens of megabytes at worst.
+const DefaultCapacity = 4096
+
+// New returns an empty cache holding at most capacity entries (<= 0 selects
+// DefaultCapacity).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+		flights:  make(map[Key]*flight),
+	}
+}
+
+// Do returns the value cached under key, computing it with compute on a miss.
+// Concurrent calls for the same key run compute exactly once: the first
+// caller computes, later callers block until it finishes and share the
+// outcome. cached reports whether the caller avoided computing (a cache hit
+// or a joined flight). Errors are never cached — a failed computation leaves
+// the key empty so the next call retries. A joined caller whose own context
+// is done stops waiting and returns the context error; a joined caller whose
+// *leader* died of the leader's own cancellation does not inherit that death:
+// it retries, becoming the new leader if nobody beat it to it, so one
+// client's disconnect never fails another client's identical request.
+func (c *Cache) Do(ctx context.Context, key Key, compute func(ctx context.Context) (sim.TrialStats, error)) (val sim.TrialStats, cached bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.hits++
+			c.ll.MoveToFront(el)
+			val = el.Value.(*entry).val
+			c.mu.Unlock()
+			return val, true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.joined++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return sim.TrialStats{}, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, true, nil
+			}
+			if ctx.Err() != nil {
+				return sim.TrialStats{}, false, ctx.Err()
+			}
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				continue // the leader's context died, not ours: retry
+			}
+			return sim.TrialStats{}, true, f.err
+		}
+		c.misses++
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+
+		f.val, f.err = compute(ctx)
+
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.insertLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.val, false, f.err
+	}
+}
+
+// Get returns the value cached under key without computing anything. It
+// counts as a hit when present; an absent key leaves the counters untouched.
+func (c *Cache) Get(key Key) (sim.TrialStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return sim.TrialStats{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// insertLocked stores a computed value and enforces the LRU bound. The
+// caller holds c.mu.
+func (c *Cache) insertLocked(key Key, val sim.TrialStats) {
+	if el, ok := c.entries[key]; ok {
+		// A concurrent computation for the same key may have finished while
+		// this one ran (both started before either completed); the values
+		// are identical by the determinism contract, so just refresh.
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for len(c.entries) > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Joined:    c.joined,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		InFlight:  len(c.flights),
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
+	"antsearch/internal/parallel"
 	"antsearch/internal/sim"
 )
 
@@ -38,6 +39,12 @@ type Cell struct {
 type Runner struct {
 	// Workers bounds the number of goroutines used per cell (0 = GOMAXPROCS).
 	Workers int
+	// CellWorkers bounds the number of cells executed concurrently. Zero or
+	// one runs cells sequentially, the historical behaviour. Any value is
+	// safe for correctness: per-trial randomness derives from (seed, trial)
+	// and results are written index-for-index, so the output is identical to
+	// the sequential path whatever the fan-out (see TestRunnerCellWorkersParity).
+	CellWorkers int
 }
 
 // RunOne executes a single cell and returns its aggregated statistics.
@@ -67,10 +74,18 @@ func (r Runner) RunOne(ctx context.Context, cell Cell) (sim.TrialStats, error) {
 	return st, nil
 }
 
-// Run executes the cells in order and returns their statistics, index for
-// index. Cells run sequentially — the parallelism lives inside each cell,
-// across its trial shards — so results and their order are deterministic.
+// Run executes the cells and returns their statistics, index for index.
+// With CellWorkers <= 1 the cells run sequentially; larger values fan
+// independent cells out over goroutines. Either way every cell's statistics
+// are a pure function of its own configuration and seed, so the results are
+// identical — bit for bit — across all CellWorkers values; only wall-clock
+// time and error selection under multiple failures differ.
 func (r Runner) Run(ctx context.Context, cells []Cell) ([]sim.TrialStats, error) {
+	if r.CellWorkers > 1 {
+		return parallel.Map(ctx, len(cells), r.CellWorkers, func(i int) (sim.TrialStats, error) {
+			return r.RunOne(ctx, cells[i])
+		})
+	}
 	out := make([]sim.TrialStats, len(cells))
 	for i, cell := range cells {
 		st, err := r.RunOne(ctx, cell)
@@ -127,6 +142,33 @@ func (g Grid) Cells() ([]Cell, error) {
 		}
 		if len(ks) == 0 || len(ds) == 0 || trials < 1 {
 			return nil, fmt.Errorf("scenario: %q has no usable k/D/trials ranges", name)
+		}
+		// Validate range values here, at expansion time, so detectably
+		// invalid grids fail up front (e.g. an HTTP 400 from antserve)
+		// instead of mid-sweep from deep inside the engine.
+		for _, k := range ks {
+			if k < 1 {
+				return nil, fmt.Errorf("scenario: %q: k values must be >= 1, got %d", name, k)
+			}
+		}
+		for _, d := range ds {
+			if d < 1 {
+				return nil, fmt.Errorf("scenario: %q: D values must be >= 1, got %d", name, d)
+			}
+		}
+		if g.MaxTime < 0 {
+			return nil, fmt.Errorf("scenario: %q: MaxTime must be >= 0 (0 = engine default), got %d", name, g.MaxTime)
+		}
+		if g.Params.D != 0 && len(ds) > 1 {
+			// An explicit Params.D pins every factory to one advice distance
+			// while the cells would be reported under the swept D — a silent
+			// advice/instance mismatch. A single swept D with an explicit
+			// (possibly different) Params.D stays legal: that is the
+			// deliberate "wrong advice" experiment.
+			return nil, fmt.Errorf(
+				"scenario: %q: explicit Params.D=%d conflicts with sweeping %d distances %v; "+
+					"leave Params.D zero to parameterise each cell with its own D",
+				name, g.Params.D, len(ds), ds)
 		}
 		for _, d := range ds {
 			p := g.Params

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"antsearch/internal/adversary"
@@ -67,6 +68,98 @@ func TestGridCellsErrors(t *testing.T) {
 		Ks:        []int{1}, Ds: []int{8}, Trials: 1,
 	}).Cells(); err == nil {
 		t.Error("invalid parameters should fail at expansion")
+	}
+	// Range values are validated at expansion time, so a detectably invalid
+	// grid fails up front rather than mid-sweep from inside the engine.
+	if _, err := (Grid{Scenarios: []string{"known-k"}, Ks: []int{0}, Ds: []int{8}, Trials: 1}).Cells(); err == nil {
+		t.Error("k=0 should fail at expansion")
+	}
+	if _, err := (Grid{Scenarios: []string{"known-k"}, Ks: []int{1}, Ds: []int{-4}, Trials: 1}).Cells(); err == nil {
+		t.Error("negative D should fail at expansion")
+	}
+	if _, err := (Grid{Scenarios: []string{"known-k"}, Ks: []int{1}, Ds: []int{8}, Trials: 1, MaxTime: -1}).Cells(); err == nil {
+		t.Error("negative MaxTime should fail at expansion")
+	}
+}
+
+func TestGridCellsExplicitDWithMultipleDs(t *testing.T) {
+	t.Parallel()
+
+	p := DefaultParams()
+	p.D = 8 // explicit advice distance
+	_, err := (Grid{
+		Scenarios: []string{"known-d"},
+		Params:    p,
+		Ks:        []int{1}, Ds: []int{8, 16}, Trials: 1,
+	}).Cells()
+	if err == nil {
+		t.Fatal("explicit Params.D with multiple swept Ds should fail: the factories " +
+			"would all use D=8 while cells report the swept D")
+	}
+	if !strings.Contains(err.Error(), "Params.D") {
+		t.Errorf("error should name Params.D, got: %v", err)
+	}
+
+	// A single swept D with an explicit different Params.D stays legal — the
+	// deliberate wrong-advice configuration.
+	cells, err := (Grid{
+		Scenarios: []string{"known-d"},
+		Params:    p,
+		Ks:        []int{1}, Ds: []int{16}, Trials: 1,
+	}).Cells()
+	if err != nil {
+		t.Fatalf("single swept D with explicit Params.D: %v", err)
+	}
+	if name := cells[0].Factory(1).Name(); name != "known-d(D=8)" {
+		t.Errorf("wrong-advice cell resolves to %q, want known-d(D=8)", name)
+	}
+}
+
+// TestRunnerCellWorkersParity is the parity property test of the parallel
+// cross-cell path: on a multi-scenario grid, every CellWorkers value must
+// reproduce the sequential statistics exactly, index for index.
+func TestRunnerCellWorkersParity(t *testing.T) {
+	t.Parallel()
+
+	cells, err := Grid{
+		Scenarios: []string{"known-k", "uniform", "single-spiral", "known-d"},
+		Params:    DefaultParams(),
+		Ks:        []int{1, 3},
+		Ds:        []int{6, 11},
+		Trials:    7,
+		Seed:      42,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Runner{}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cw := range []int{2, 3, 8, 64} {
+		got, err := Runner{CellWorkers: cw}.Run(context.Background(), cells)
+		if err != nil {
+			t.Fatalf("CellWorkers=%d: %v", cw, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("CellWorkers=%d: statistics differ from the sequential path", cw)
+		}
+	}
+}
+
+func TestRunnerCellWorkersError(t *testing.T) {
+	t.Parallel()
+
+	factory, err := Factory("known-k", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []Cell{
+		{Scenario: "known-k", Factory: factory, K: 1, D: 6, Trials: 2, Seed: 1},
+		{Scenario: "known-k", Factory: factory, K: 1, D: 0, Trials: 2, Seed: 1}, // invalid
+	}
+	if _, err := (Runner{CellWorkers: 4}).Run(context.Background(), cells); err == nil {
+		t.Error("a failing cell must fail the parallel run")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
@@ -44,6 +45,11 @@ func (c TrialConfig) Validate() error {
 	}
 	if c.Adversary == nil {
 		return errors.New("sim: trial config has no adversary")
+	}
+	if d := c.Adversary.Distance(); d < 1 {
+		return fmt.Errorf("sim: adversary %q places the treasure at distance %d, "+
+			"on the source; the competitive ratio is undefined for D=0 (need D >= 1)",
+			c.Adversary.Name(), d)
 	}
 	if c.Trials < 1 {
 		return fmt.Errorf("sim: trial config needs at least one trial, got %d", c.Trials)
@@ -154,7 +160,12 @@ func (a *TrialAccumulator) Add(r Result) {
 		a.capped++
 	}
 	a.allTime.Add(float64(r.Time))
-	a.ratio.Add(r.CompetitiveRatio())
+	if ratio := r.CompetitiveRatio(); !math.IsNaN(ratio) {
+		// A NaN ratio marks the degenerate D=0 instance, which the engines
+		// reject before any trial runs; excluding it keeps the accumulator
+		// well defined even for hand-built Results.
+		a.ratio.Add(ratio)
+	}
 	a.times.Add(float64(r.Time))
 }
 

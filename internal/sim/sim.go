@@ -108,10 +108,14 @@ type Result struct {
 
 // CompetitiveRatio returns Time / (D + D²/k), the quantity the paper's
 // competitiveness definition compares against. For capped runs it returns the
-// ratio computed with the cap, which is a lower bound on the true ratio.
+// ratio computed with the cap, which is a lower bound on the true ratio. A
+// zero lower bound only arises on the degenerate D=0 instance (treasure on
+// the source), which both engines and MonteCarlo reject; the ratio is
+// undefined there and reported as NaN so that accidental aggregation surfaces
+// loudly instead of silently dragging means toward zero.
 func (r Result) CompetitiveRatio() float64 {
 	if r.LowerBound == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(r.Time) / r.LowerBound
 }

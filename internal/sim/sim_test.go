@@ -3,7 +3,9 @@ package sim
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"antsearch/internal/adversary"
@@ -268,8 +270,11 @@ func TestCompetitiveRatioAndSpeedup(t *testing.T) {
 	if got := r.CompetitiveRatio(); got != 10 {
 		t.Errorf("CompetitiveRatio = %v, want 10", got)
 	}
-	if got := (Result{}).CompetitiveRatio(); got != 0 {
-		t.Errorf("zero-value CompetitiveRatio = %v, want 0", got)
+	// A zero lower bound marks the degenerate D=0 instance; the ratio is
+	// undefined there and must surface as NaN, not a silent 0 that would
+	// drag aggregate means toward zero (regression for the former behaviour).
+	if got := (Result{}).CompetitiveRatio(); !math.IsNaN(got) {
+		t.Errorf("zero-value CompetitiveRatio = %v, want NaN", got)
 	}
 	if got := Speedup(100, 25); got != 4 {
 		t.Errorf("Speedup = %v, want 4", got)
@@ -280,6 +285,28 @@ func TestCompetitiveRatioAndSpeedup(t *testing.T) {
 }
 
 func isInf(v float64) bool { return v > 1e300 }
+
+// TestMonteCarloRejectsOriginPlacement is the regression test for the D=0
+// degenerate instance: an adversary that places the treasure on the source
+// must be rejected up front with an actionable error, before any trial runs,
+// instead of feeding zero lower bounds into the ratio aggregation.
+func TestMonteCarloRejectsOriginPlacement(t *testing.T) {
+	t.Parallel()
+
+	_, err := MonteCarlo(context.Background(), TrialConfig{
+		Factory:   core.Factory(),
+		NumAgents: 2,
+		Adversary: adversary.FixedPoint{Target: grid.Origin},
+		Trials:    4,
+		Seed:      1,
+	})
+	if err == nil {
+		t.Fatal("an origin placement (D=0) must be rejected")
+	}
+	if !strings.Contains(err.Error(), "distance 0") {
+		t.Errorf("error should name the degenerate distance, got: %v", err)
+	}
+}
 
 func TestMonteCarloValidation(t *testing.T) {
 	t.Parallel()

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// quantileSummaryJSON is the stable wire form of a QuantileSummary. The
+// struct keeps its query state in unexported fields, so without explicit
+// marshalling a round-trip through JSON would silently drop every quantile;
+// the serving layer (cmd/antserve) streams TrialStats rows as JSON and needs
+// the encoding to be lossless and stable across releases.
+type quantileSummaryJSON struct {
+	N     int     `json:"n"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Exact bool    `json:"exact"`
+	// Samples carries the sorted observations in exact mode (at most the
+	// sketch cap of them); Qs/Vs carry the tracked quantiles and their P²
+	// estimates in estimation mode.
+	Samples []float64 `json:"samples,omitempty"`
+	Qs      []float64 `json:"qs,omitempty"`
+	Vs      []float64 `json:"vs,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s QuantileSummary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(quantileSummaryJSON{
+		N:       s.N,
+		Min:     s.Min,
+		Max:     s.Max,
+		Exact:   s.Exact,
+		Samples: s.samples,
+		Qs:      s.qs,
+		Vs:      s.vs,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded summary answers
+// Quantile exactly as the encoded one did.
+func (s *QuantileSummary) UnmarshalJSON(data []byte) error {
+	var w quantileSummaryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Qs) != len(w.Vs) {
+		return fmt.Errorf("stats: quantile summary has %d tracked quantiles but %d estimates",
+			len(w.Qs), len(w.Vs))
+	}
+	if w.Exact && !sort.Float64sAreSorted(w.Samples) {
+		// The encoder always emits sorted samples; tolerate hand-written
+		// payloads by restoring the invariant Quantile depends on.
+		sort.Float64s(w.Samples)
+	}
+	*s = QuantileSummary{
+		N:       w.N,
+		Min:     w.Min,
+		Max:     w.Max,
+		Exact:   w.Exact,
+		samples: w.Samples,
+		qs:      w.Qs,
+		vs:      w.Vs,
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestQuantileSummaryJSONRoundTrip pins the serving layer's contract: a
+// QuantileSummary survives JSON encoding losslessly in both exact and
+// estimation mode — every quantile query answers identically before and
+// after the round trip.
+func TestQuantileSummaryJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	exact := NewSketch(64)
+	estimating := NewSketch(64)
+	for i := 0; i < 50; i++ {
+		exact.Add(float64(i * i % 37))
+	}
+	for i := 0; i < 500; i++ {
+		estimating.Add(float64(i * i % 101))
+	}
+	if exact.Summary().Exact != true || estimating.Summary().Exact != false {
+		t.Fatal("test setup: expected one exact and one estimating sketch")
+	}
+
+	for name, sum := range map[string]QuantileSummary{
+		"exact":      exact.Summary(),
+		"estimating": estimating.Summary(),
+		"empty":      NewSketch(0).Summary(),
+	} {
+		data, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var got QuantileSummary
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if got.N != sum.N || got.Min != sum.Min || got.Max != sum.Max || got.Exact != sum.Exact {
+			t.Errorf("%s: header fields changed: %+v vs %+v", name, got, sum)
+		}
+		for _, q := range []float64{0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			if a, b := got.Quantile(q), sum.Quantile(q); a != b {
+				t.Errorf("%s: Quantile(%v) = %v after round trip, want %v", name, q, a, b)
+			}
+		}
+	}
+}
+
+func TestQuantileSummaryUnmarshalRejectsMismatchedTracks(t *testing.T) {
+	t.Parallel()
+
+	var s QuantileSummary
+	if err := json.Unmarshal([]byte(`{"n":10,"qs":[0.5],"vs":[1,2]}`), &s); err == nil {
+		t.Error("mismatched qs/vs lengths should fail to decode")
+	}
+}

@@ -150,10 +150,16 @@ type Sketch struct {
 }
 
 // NewSketch returns a sketch that is exact up to cap observations (0 means
-// DefaultSketchCap) and tracks a default spread of quantiles beyond it.
+// DefaultSketchCap) and tracks a default spread of quantiles beyond it. The
+// cap is clamped to at least 4: switching to estimation replays cap+1
+// buffered samples, and every P² estimator needs five observations to leave
+// its warm-up — a precondition mergeWeighted relies on.
 func NewSketch(cap int) *Sketch {
 	if cap <= 0 {
 		cap = DefaultSketchCap
+	}
+	if cap < 4 {
+		cap = 4
 	}
 	return &Sketch{cap: cap, tracked: defaultTracked}
 }
@@ -288,7 +294,12 @@ func (s *Sketch) Quantile(q float64) float64 {
 	return s.Summary().Quantile(q)
 }
 
-// Summary snapshots the sketch into an immutable value.
+// Summary snapshots the sketch into an immutable value. In estimation mode
+// the tracked estimates are clamped into the observed [min, max] and made
+// non-decreasing across the tracked quantiles (a running maximum): the P²
+// estimators are independent per quantile and on duplicate-heavy streams
+// adjacent ones can cross by tiny amounts, which would make Quantile
+// non-monotone in q — an invariant violation callers are allowed to rely on.
 func (s *Sketch) Summary() QuantileSummary {
 	sum := QuantileSummary{N: s.n, Min: s.min, Max: s.max}
 	if s.est == nil {
@@ -299,8 +310,17 @@ func (s *Sketch) Summary() QuantileSummary {
 	}
 	sum.qs = append([]float64(nil), s.tracked...)
 	sum.vs = make([]float64, len(s.est))
+	prev := sum.Min
 	for i, e := range s.est {
-		sum.vs[i] = e.Value()
+		v := e.Value()
+		if v < prev {
+			v = prev
+		}
+		if v > sum.Max {
+			v = sum.Max
+		}
+		sum.vs[i] = v
+		prev = v
 	}
 	return sum
 }

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Property tests for the P² estimator and the sketch under the inputs that
+// historically break P² implementations: duplicate-heavy streams (marker
+// heights collide), adversarially ordered streams (sorted, reverse-sorted,
+// organ-pipe, min/max alternation) and constant streams. The invariants:
+//
+//   - marker heights stay non-decreasing after every observation;
+//   - marker positions stay strictly increasing, with n[0] pinned to the
+//     first observation and n[4] to the last;
+//   - the estimate stays inside the observed [min, max];
+//   - sketch quantiles stay monotone in q, in exact mode, past the cap, and
+//     under the sharded merges the sweep engine performs.
+
+// propStreams enumerates the adversarial input orderings, deterministically.
+func propStreams(n int) map[string][]float64 {
+	streams := map[string][]float64{
+		"constant": make([]float64, n),
+	}
+	var asc, desc, organ, alt, dup, twoInter, twoBlock, ninety []float64
+	g := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		g = g*6364136223846793005 + 1442695040888963407
+		return g
+	}
+	for i := 0; i < n; i++ {
+		asc = append(asc, float64(i))
+		desc = append(desc, float64(n-i))
+		if i%2 == 0 {
+			organ = append(organ, float64(i))
+			alt = append(alt, float64(-i))
+		} else {
+			organ = append(organ, float64(n-i))
+			alt = append(alt, float64(i))
+		}
+		dup = append(dup, float64(next()>>61)) // 8 distinct values
+		twoInter = append(twoInter, float64(1+i%2))
+		if i < n/2 {
+			twoBlock = append(twoBlock, 1)
+		} else {
+			twoBlock = append(twoBlock, 2)
+		}
+		if next()>>61 == 0 {
+			ninety = append(ninety, float64(next()>>58))
+		} else {
+			ninety = append(ninety, 5) // ~87% of the stream is the value 5
+		}
+	}
+	streams["ascending"] = asc
+	streams["descending"] = desc
+	streams["organ-pipe"] = organ
+	streams["alternating"] = alt
+	streams["duplicate-heavy"] = dup
+	streams["two-valued-interleaved"] = twoInter
+	streams["two-valued-blocky"] = twoBlock
+	streams["ninety-percent-dup"] = ninety
+	return streams
+}
+
+func TestP2MarkerInvariants(t *testing.T) {
+	t.Parallel()
+
+	for name, s := range propStreams(2000) {
+		for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			p, err := NewP2(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for step, x := range s {
+				p.Add(x)
+				mn = math.Min(mn, x)
+				mx = math.Max(mx, x)
+				if p.Count() < 5 {
+					continue
+				}
+				for i := 0; i < 4; i++ {
+					if p.heights[i] > p.heights[i+1] {
+						t.Fatalf("%s q=%v step %d: marker heights non-monotone: %v",
+							name, q, step, p.heights)
+					}
+					if p.n[i] >= p.n[i+1] {
+						t.Fatalf("%s q=%v step %d: marker positions collided: %v",
+							name, q, step, p.n)
+					}
+				}
+				if p.n[0] != 1 || p.n[4] != p.Count() {
+					t.Fatalf("%s q=%v step %d: extreme markers drifted: n=%v count=%d",
+						name, q, step, p.n, p.Count())
+				}
+			}
+			if v := p.Value(); v < mn || v > mx {
+				t.Errorf("%s q=%v: estimate %v outside observed [%v, %v]", name, q, v, mn, mx)
+			}
+		}
+	}
+}
+
+func TestSketchQuantileSanityUnderAdversarialStreams(t *testing.T) {
+	t.Parallel()
+
+	// 6000 observations push every stream well past the exact cap (1024), so
+	// this exercises the P²-estimation mode, and a 500-observation sharding
+	// exercises the engine's merge path (exact shards folded into an
+	// estimating total).
+	const shard = 500
+	for name, s := range propStreams(6000) {
+		direct := NewSketch(0)
+		for _, x := range s {
+			direct.Add(x)
+		}
+		merged := NewSketch(0)
+		for lo := 0; lo < len(s); lo += shard {
+			part := NewSketch(0)
+			for _, x := range s[lo : lo+shard] {
+				part.Add(x)
+			}
+			merged.Merge(part)
+		}
+		for mode, sk := range map[string]*Sketch{"direct": direct, "merged": merged} {
+			if sk.Exact() {
+				t.Fatalf("%s/%s: sketch unexpectedly still exact after %d observations",
+					name, mode, len(s))
+			}
+			sum := sk.Summary()
+			prev := sum.Min
+			for _, q := range []float64{0, 0.05, 0.1, 0.25, 0.5, 0.6, 0.75, 0.9, 0.95, 0.99, 1} {
+				v := sum.Quantile(q)
+				if v < sum.Min || v > sum.Max {
+					t.Errorf("%s/%s q=%v: %v outside [%v, %v]", name, mode, q, v, sum.Min, sum.Max)
+				}
+				if v < prev-1e-9 {
+					t.Errorf("%s/%s q=%v: quantiles non-monotone (%v after %v)", name, mode, q, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+// TestTinyCapSketchMergeStaysSane covers the clamped-cap guarantee: a cap
+// below the P² warm-up threshold is raised to 4, so merging two sketches
+// that both left exact mode never averages half-initialised marker state.
+func TestTinyCapSketchMergeStaysSane(t *testing.T) {
+	t.Parallel()
+
+	for _, cap := range []int{1, 2, 3, 4} {
+		a, b := NewSketch(cap), NewSketch(cap)
+		for i := 0; i < 50; i++ {
+			a.Add(float64(i))
+			b.Add(float64(100 + i))
+		}
+		a.Merge(b)
+		sum := a.Summary()
+		if sum.N != 100 || sum.Min != 0 || sum.Max != 149 {
+			t.Fatalf("cap %d: merged summary header = %+v", cap, sum)
+		}
+		for _, q := range []float64{0.05, 0.5, 0.95} {
+			if v := sum.Quantile(q); v < sum.Min || v > sum.Max {
+				t.Errorf("cap %d: Quantile(%v) = %v outside [%v, %v]", cap, q, v, sum.Min, sum.Max)
+			}
+		}
+	}
+}
+
+// TestP2DuplicateHeavyAccuracy pins the estimator's behaviour on the stream
+// where most of the mass sits on a single value: the median must land on the
+// dominant value, not between it and the outliers.
+func TestP2DuplicateHeavyAccuracy(t *testing.T) {
+	t.Parallel()
+
+	s := propStreams(6000)["ninety-percent-dup"]
+	p, err := NewP2(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range s {
+		p.Add(x)
+	}
+	if v := p.Value(); math.Abs(v-5) > 0.5 {
+		t.Errorf("median of an ~87%%-duplicate stream = %v, want ≈ 5", v)
+	}
+}
