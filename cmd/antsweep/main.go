@@ -38,19 +38,20 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("antsweep", flag.ContinueOnError)
 	var (
-		algList = fs.String("algs", "known-k,uniform", "comma-separated algorithms to sweep")
-		kList   = fs.String("k", "1,4,16", "comma-separated agent counts")
-		dList   = fs.String("d", "32", "comma-separated treasure distances")
-		trials  = fs.Int("trials", 32, "Monte-Carlo trials per cell")
-		eps     = fs.Float64("eps", 0.5, "epsilon (uniform, approx-hedge)")
-		delta   = fs.Float64("delta", 0.5, "delta (harmonic variants)")
-		rho     = fs.Float64("rho", 2, "rho (rho-approx)")
-		mu      = fs.Float64("mu", 2, "mu (levy)")
-		seed    = fs.Uint64("seed", 1, "base random seed")
-		maxTime = fs.Int("max-time", 0, "per-trial time cap (0 = engine default)")
-		format  = fs.String("format", "ascii", "output format: ascii, markdown or csv")
-		workers = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
-		list    = fs.Bool("list", false, "list the registered scenarios and exit")
+		algList  = fs.String("algs", "known-k,uniform", "comma-separated algorithms to sweep")
+		kList    = fs.String("k", "1,4,16", "comma-separated agent counts")
+		dList    = fs.String("d", "32", "comma-separated treasure distances")
+		trials   = fs.Int("trials", 32, "Monte-Carlo trials per cell")
+		eps      = fs.Float64("eps", 0.5, "epsilon (uniform, approx-hedge)")
+		delta    = fs.Float64("delta", 0.5, "delta (harmonic variants)")
+		rho      = fs.Float64("rho", 2, "rho (rho-approx)")
+		mu       = fs.Float64("mu", 2, "mu (levy)")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		maxTime  = fs.Int("max-time", 0, "per-trial time cap (0 = engine default)")
+		format   = fs.String("format", "ascii", "output format: ascii, markdown or csv")
+		workers  = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
+		adaptive = fs.Bool("adaptive", false, "auto-split cores between cells and trials (ignores -workers)")
+		list     = fs.Bool("list", false, "list the registered scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,7 +105,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stats, err := scenario.Runner{Workers: *workers}.Run(context.Background(), cells)
+	stats, err := scenario.Runner{Workers: *workers, Adaptive: *adaptive}.Run(context.Background(), cells)
 	if err != nil {
 		return err
 	}

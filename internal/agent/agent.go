@@ -26,11 +26,17 @@ import (
 // (which formally run forever) are represented without materialising their
 // whole schedule. A Searcher that has nothing more to do (for instance the
 // one-shot harmonic algorithm of Section 5) returns ok == false.
+//
+// Segments are emitted as the concrete trajectory.Seg union, not as the
+// boxed trajectory.Segment interface: the engines pull millions of segments
+// per sweep, and a value-type segment costs neither an allocation to box nor
+// an indirect call to query. Seg itself implements Segment, so callers that
+// want the interface view just assign the value across.
 type Searcher interface {
 	// NextSegment returns the next segment of the agent's trajectory. The
 	// first segment must start at the source; every further segment must
 	// start where the previous one ended.
-	NextSegment() (seg trajectory.Segment, ok bool)
+	NextSegment() (seg trajectory.Seg, ok bool)
 }
 
 // Algorithm equips each of the identical agents with a Searcher. An algorithm
@@ -47,6 +53,36 @@ type Algorithm interface {
 	NewSearcher(rng *xrand.Stream, agentIndex int) Searcher
 }
 
+// SearcherReuser is an optional interface an Algorithm may implement to let
+// the simulation engines recycle searcher storage across trials. ReuseSearcher
+// must behave exactly like NewSearcher — same randomness consumption, same
+// schedule — except that when prev is a searcher previously produced by this
+// algorithm's NewSearcher (or ReuseSearcher), it may reset prev in place and
+// return it instead of allocating. Implementations must tolerate a prev of a
+// foreign type (fall back to allocating) so engines can hand back whatever
+// they last held.
+type SearcherReuser interface {
+	ReuseSearcher(prev Searcher, rng *xrand.Stream, agentIndex int) Searcher
+}
+
+// ReuseOrNew is the canonical ReuseSearcher body for struct searchers: when
+// prev is a *T it overwrites the whole struct with fresh and returns it,
+// otherwise it allocates. Overwriting the entire value (never individual
+// fields) is what makes reuse safe — no field of a prior trial, including
+// embedded emitter state, can survive into the next one.
+func ReuseOrNew[T any, PT interface {
+	*T
+	Searcher
+}](prev Searcher, fresh T) Searcher {
+	if p, ok := prev.(PT); ok {
+		*p = fresh
+		return p
+	}
+	p := PT(new(T))
+	*p = fresh
+	return p
+}
+
 // Factory builds an algorithm for a search instance with k agents. It is the
 // experiment harness's way of modelling advice:
 //
@@ -58,15 +94,17 @@ type Factory func(k int) Algorithm
 
 // SegmentFunc adapts a function to the Searcher interface. It is the
 // idiomatic way to write generator-style searchers without defining a new
-// type for every closure.
-type SegmentFunc func() (trajectory.Segment, bool)
+// type for every closure. Hot-path algorithms prefer dedicated searcher
+// structs (one allocation per searcher instead of one per captured
+// variable); SegmentFunc remains for wrappers and tests.
+type SegmentFunc func() (trajectory.Seg, bool)
 
 // NextSegment implements Searcher.
-func (f SegmentFunc) NextSegment() (trajectory.Segment, bool) { return f() }
+func (f SegmentFunc) NextSegment() (trajectory.Seg, bool) { return f() }
 
 // Done is a Searcher with an empty trajectory. It is returned by algorithms
 // whose agents have finished their (finite) schedule.
-var Done Searcher = SegmentFunc(func() (trajectory.Segment, bool) { return nil, false })
+var Done Searcher = SegmentFunc(func() (trajectory.Seg, bool) { return trajectory.Seg{}, false })
 
 // Validate checks basic sanity of an algorithm construction parameter and is
 // shared by the concrete algorithm constructors.

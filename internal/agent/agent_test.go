@@ -11,12 +11,12 @@ func TestSegmentFunc(t *testing.T) {
 	t.Parallel()
 
 	calls := 0
-	var s Searcher = SegmentFunc(func() (trajectory.Segment, bool) {
+	var s Searcher = SegmentFunc(func() (trajectory.Seg, bool) {
 		calls++
 		if calls > 2 {
-			return nil, false
+			return trajectory.Seg{}, false
 		}
-		return trajectory.NewWalk(grid.Origin, grid.Origin), true
+		return trajectory.WalkSeg(grid.Origin, grid.Origin), true
 	})
 	for i := 0; i < 2; i++ {
 		if _, ok := s.NextSegment(); !ok {
@@ -31,7 +31,7 @@ func TestSegmentFunc(t *testing.T) {
 func TestDone(t *testing.T) {
 	t.Parallel()
 
-	if seg, ok := Done.NextSegment(); ok || seg != nil {
+	if seg, ok := Done.NextSegment(); ok || seg != (trajectory.Seg{}) {
 		t.Errorf("Done should produce nothing, got (%v, %v)", seg, ok)
 	}
 }

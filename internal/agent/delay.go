@@ -42,6 +42,24 @@ func (d *Delayed) Name() string {
 	return fmt.Sprintf("delayed(%s,max=%d)", d.Inner.Name(), d.MaxDelay)
 }
 
+// delayedSearcher prepends a single pause to an inner searcher's schedule.
+type delayedSearcher struct {
+	inner        Searcher
+	delay        int
+	emittedPause bool
+}
+
+// NextSegment implements Searcher.
+func (s *delayedSearcher) NextSegment() (trajectory.Seg, bool) {
+	if !s.emittedPause {
+		s.emittedPause = true
+		if s.delay > 0 {
+			return trajectory.PauseSeg(grid.Origin, s.delay), true
+		}
+	}
+	return s.inner.NextSegment()
+}
+
 // NewSearcher implements Algorithm. The delay consumes randomness from the
 // same per-agent stream as the inner algorithm, so runs remain reproducible.
 func (d *Delayed) NewSearcher(rng *xrand.Stream, agentIndex int) Searcher {
@@ -49,17 +67,29 @@ func (d *Delayed) NewSearcher(rng *xrand.Stream, agentIndex int) Searcher {
 	if d.MaxDelay > 0 {
 		delay = rng.IntN(d.MaxDelay + 1)
 	}
-	inner := d.Inner.NewSearcher(rng, agentIndex)
-	emittedPause := false
-	return SegmentFunc(func() (trajectory.Segment, bool) {
-		if !emittedPause {
-			emittedPause = true
-			if delay > 0 {
-				return trajectory.NewPause(grid.Origin, delay), true
-			}
-		}
-		return inner.NextSegment()
-	})
+	return &delayedSearcher{inner: d.Inner.NewSearcher(rng, agentIndex), delay: delay}
+}
+
+// ReuseSearcher implements SearcherReuser. The delay is drawn before the
+// inner searcher is built, exactly as in NewSearcher, so the stream
+// consumption — and therefore the whole run — is identical.
+func (d *Delayed) ReuseSearcher(prev Searcher, rng *xrand.Stream, agentIndex int) Searcher {
+	s, ok := prev.(*delayedSearcher)
+	if !ok {
+		return d.NewSearcher(rng, agentIndex)
+	}
+	delay := 0
+	if d.MaxDelay > 0 {
+		delay = rng.IntN(d.MaxDelay + 1)
+	}
+	if reuser, ok := d.Inner.(SearcherReuser); ok {
+		s.inner = reuser.ReuseSearcher(s.inner, rng, agentIndex)
+	} else {
+		s.inner = d.Inner.NewSearcher(rng, agentIndex)
+	}
+	s.delay = delay
+	s.emittedPause = false
+	return s
 }
 
 // DelayedFactory wraps a factory so that every produced algorithm starts its

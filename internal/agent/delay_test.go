@@ -17,9 +17,9 @@ func (walkOut) Name() string { return "walk-out" }
 
 func (walkOut) NewSearcher(*xrand.Stream, int) Searcher {
 	pos := grid.Origin
-	return SegmentFunc(func() (trajectory.Segment, bool) {
+	return SegmentFunc(func() (trajectory.Seg, bool) {
 		next := pos.Step(grid.East)
-		seg := trajectory.NewWalk(pos, next)
+		seg := trajectory.WalkSeg(pos, next)
 		pos = next
 		return seg, true
 	})
@@ -57,25 +57,25 @@ func TestDelayedPrependsPause(t *testing.T) {
 		if !ok {
 			t.Fatal("no first segment")
 		}
-		switch first := seg.(type) {
-		case trajectory.Pause:
+		switch seg.Kind() {
+		case trajectory.KindPause:
 			sawPause = true
-			if first.Duration() < 1 || first.Duration() > 20 {
-				t.Errorf("pause duration %d outside [1, 20]", first.Duration())
+			if seg.Duration() < 1 || seg.Duration() > 20 {
+				t.Errorf("pause duration %d outside [1, 20]", seg.Duration())
 			}
-			if first.Start() != grid.Origin {
-				t.Errorf("pause not at the source: %v", first.Start())
+			if seg.Start() != grid.Origin {
+				t.Errorf("pause not at the source: %v", seg.Start())
 			}
 			// The inner schedule follows, contiguous with the pause.
 			next, ok := s.NextSegment()
 			if !ok || next.Start() != grid.Origin {
 				t.Errorf("inner schedule does not start at the source after the pause")
 			}
-		case trajectory.Walk:
+		case trajectory.KindWalk:
 			// Delay drawn as zero: the inner schedule starts immediately.
 			sawZeroDelay = true
 		default:
-			t.Fatalf("unexpected first segment type %T", seg)
+			t.Fatalf("unexpected first segment kind %v", seg.Kind())
 		}
 	}
 	if !sawPause {
@@ -92,7 +92,7 @@ func TestDelayedPrependsPause(t *testing.T) {
 	if !ok {
 		t.Fatal("no segment")
 	}
-	if _, isPause := seg.(trajectory.Pause); isPause {
+	if seg.Kind() == trajectory.KindPause {
 		t.Error("MaxDelay = 0 should not emit a pause")
 	}
 }

@@ -49,14 +49,26 @@ var _ agent.Algorithm = SingleSpiral{}
 // Name implements agent.Algorithm.
 func (SingleSpiral) Name() string { return "single-spiral" }
 
+// singleSpiralSearcher emits the source-centred spiral in fixed-size chunks.
+type singleSpiralSearcher struct {
+	next int
+}
+
+// NextSegment implements agent.Searcher.
+func (s *singleSpiralSearcher) NextSegment() (trajectory.Seg, bool) {
+	seg := trajectory.SpiralSeg(grid.Origin, s.next, s.next+spiralChunk)
+	s.next += spiralChunk
+	return seg, true
+}
+
 // NewSearcher implements agent.Algorithm.
 func (SingleSpiral) NewSearcher(*xrand.Stream, int) agent.Searcher {
-	next := 0
-	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
-		seg := trajectory.NewSpiral(grid.Origin, next, next+spiralChunk)
-		next += spiralChunk
-		return seg, true
-	})
+	return &singleSpiralSearcher{}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (SingleSpiral) ReuseSearcher(prev agent.Searcher, _ *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, singleSpiralSearcher{})
 }
 
 // SingleSpiralFactory returns a Factory for SingleSpiral (it ignores k).
@@ -86,30 +98,44 @@ var _ agent.Algorithm = (*KnownD)(nil)
 // Name implements agent.Algorithm.
 func (a *KnownD) Name() string { return fmt.Sprintf("known-d(D=%d)", a.d) }
 
+// knownDSearcher walks to a random point of ring d and sweeps the ring once.
+type knownDSearcher struct {
+	d, ringSize, startIdx int
+	emitted               int // number of ring-arc segments emitted so far
+	pos                   grid.Point
+	started               bool
+}
+
+// NextSegment implements agent.Searcher.
+func (s *knownDSearcher) NextSegment() (trajectory.Seg, bool) {
+	if !s.started {
+		s.started = true
+		target := grid.RingPoint(s.d, s.startIdx)
+		s.pos = target
+		return trajectory.WalkSeg(grid.Origin, target), true
+	}
+	if s.emitted >= s.ringSize {
+		return trajectory.Seg{}, false
+	}
+	nextIdx := (s.startIdx + s.emitted + 1) % s.ringSize
+	next := grid.RingPoint(s.d, nextIdx)
+	seg := trajectory.WalkSeg(s.pos, next)
+	s.pos = next
+	s.emitted++
+	return seg, true
+}
+
 // NewSearcher implements agent.Algorithm.
 func (a *KnownD) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
 	ringSize := grid.RingSize(a.d)
-	startIdx := rng.IntN(ringSize)
-	emitted := 0 // number of ring-arc segments emitted so far
-	pos := grid.Origin
-	started := false
-	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
-		if !started {
-			started = true
-			target := grid.RingPoint(a.d, startIdx)
-			pos = target
-			return trajectory.NewWalk(grid.Origin, target), true
-		}
-		if emitted >= ringSize {
-			return nil, false
-		}
-		nextIdx := (startIdx + emitted + 1) % ringSize
-		next := grid.RingPoint(a.d, nextIdx)
-		seg := trajectory.NewWalk(pos, next)
-		pos = next
-		emitted++
-		return seg, true
-	})
+	return &knownDSearcher{d: a.d, ringSize: ringSize, startIdx: rng.IntN(ringSize)}
+}
+
+// ReuseSearcher implements agent.SearcherReuser. It consumes the same random
+// draw NewSearcher does.
+func (a *KnownD) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	ringSize := grid.RingSize(a.d)
+	return agent.ReuseOrNew(prev, knownDSearcher{d: a.d, ringSize: ringSize, startIdx: rng.IntN(ringSize)})
 }
 
 // KnownDFactory returns a Factory for KnownD; it ignores k (the baseline's
@@ -133,15 +159,28 @@ var _ agent.Algorithm = RandomWalk{}
 // Name implements agent.Algorithm.
 func (RandomWalk) Name() string { return "random-walk" }
 
+// randomWalkSearcher emits one uniformly random unit step per segment.
+type randomWalkSearcher struct {
+	rng *xrand.Stream
+	pos grid.Point
+}
+
+// NextSegment implements agent.Searcher.
+func (s *randomWalkSearcher) NextSegment() (trajectory.Seg, bool) {
+	next := s.pos.Step(s.rng.Direction())
+	seg := trajectory.WalkSeg(s.pos, next)
+	s.pos = next
+	return seg, true
+}
+
 // NewSearcher implements agent.Algorithm.
 func (RandomWalk) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
-	pos := grid.Origin
-	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
-		next := pos.Step(rng.Direction())
-		seg := trajectory.NewWalk(pos, next)
-		pos = next
-		return seg, true
-	})
+	return &randomWalkSearcher{rng: rng}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (RandomWalk) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, randomWalkSearcher{rng: rng})
 }
 
 // RandomWalkFactory returns a Factory for RandomWalk (it ignores k).
@@ -175,22 +214,36 @@ func (a *LevyFlight) Mu() float64 { return a.mu }
 // Name implements agent.Algorithm.
 func (a *LevyFlight) Name() string { return fmt.Sprintf("levy-flight(mu=%.2g)", a.mu) }
 
+// levyFlightSearcher emits one power-law-length straight leg per segment.
+type levyFlightSearcher struct {
+	rng *xrand.Stream
+	mu  float64
+	pos grid.Point
+}
+
+// NextSegment implements agent.Searcher.
+func (s *levyFlightSearcher) NextSegment() (trajectory.Seg, bool) {
+	length := s.rng.PowerLawRadius(s.mu - 1)
+	theta := 2 * math.Pi * s.rng.Float64()
+	dx := int(math.Round(float64(length) * math.Cos(theta)))
+	dy := int(math.Round(float64(length) * math.Sin(theta)))
+	if dx == 0 && dy == 0 {
+		dx = 1
+	}
+	next := s.pos.Add(grid.Point{X: dx, Y: dy})
+	seg := trajectory.WalkSeg(s.pos, next)
+	s.pos = next
+	return seg, true
+}
+
 // NewSearcher implements agent.Algorithm.
 func (a *LevyFlight) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
-	pos := grid.Origin
-	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
-		length := rng.PowerLawRadius(a.mu - 1)
-		theta := 2 * math.Pi * rng.Float64()
-		dx := int(math.Round(float64(length) * math.Cos(theta)))
-		dy := int(math.Round(float64(length) * math.Sin(theta)))
-		if dx == 0 && dy == 0 {
-			dx = 1
-		}
-		next := pos.Add(grid.Point{X: dx, Y: dy})
-		seg := trajectory.NewWalk(pos, next)
-		pos = next
-		return seg, true
-	})
+	return &levyFlightSearcher{rng: rng, mu: a.mu}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *LevyFlight) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, levyFlightSearcher{rng: rng, mu: a.mu})
 }
 
 // LevyFlightFactory returns a Factory for LevyFlight (it ignores k).

@@ -11,9 +11,9 @@ import (
 )
 
 // collect pulls up to n segments, checking contiguity from the source.
-func collect(t *testing.T, s agent.Searcher, n int) []trajectory.Segment {
+func collect(t *testing.T, s agent.Searcher, n int) []trajectory.Seg {
 	t.Helper()
-	var segs []trajectory.Segment
+	var segs []trajectory.Seg
 	pos := grid.Origin
 	for len(segs) < n {
 		seg, ok := s.NextSegment()
@@ -44,7 +44,7 @@ func TestSingleSpiral(t *testing.T) {
 	// with consecutive spiral step indices.
 	total := 0
 	for _, seg := range segs {
-		sp, ok := seg.(trajectory.Spiral)
+		sp, ok := seg.AsSpiral()
 		if !ok {
 			t.Fatalf("segment %v is not a spiral", seg)
 		}

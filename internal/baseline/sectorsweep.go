@@ -43,6 +43,42 @@ func (a *SectorSweep) arcBounds(agentIndex, r int) (lo, hi int) {
 	return lo, hi
 }
 
+// sectorSweepSearcher sweeps the agent's arc of ring 1, then ring 2, and so
+// on.
+type sectorSweepSearcher struct {
+	alg        *SectorSweep
+	agentIndex int
+	pos        grid.Point
+	r          int // current ring (0 = not started)
+	arcNext    int // next ring index within the current ring's arc
+	arcEnd     int // end of the current ring's arc
+}
+
+// NextSegment implements agent.Searcher.
+func (s *sectorSweepSearcher) NextSegment() (trajectory.Seg, bool) {
+	for {
+		if s.r == 0 || s.arcNext >= s.arcEnd {
+			// Advance to the next ring that has a non-empty arc for this
+			// agent. Rings smaller than k leave some agents idle on that
+			// ring; they skip ahead to the first ring wide enough.
+			s.r++
+			lo, hi := s.alg.arcBounds(s.agentIndex, s.r)
+			if lo >= hi {
+				continue
+			}
+			s.arcNext, s.arcEnd = lo, hi
+		}
+		next := grid.RingPoint(s.r, s.arcNext%grid.RingSize(s.r))
+		s.arcNext++
+		if next == s.pos {
+			continue
+		}
+		seg := trajectory.WalkSeg(s.pos, next)
+		s.pos = next
+		return seg, true
+	}
+}
+
 // NewSearcher implements agent.Algorithm. Unlike the paper's algorithms the
 // searcher depends on the agent index: that is precisely the coordination
 // this baseline is allowed to use.
@@ -50,33 +86,15 @@ func (a *SectorSweep) NewSearcher(_ *xrand.Stream, agentIndex int) agent.Searche
 	if agentIndex < 0 || agentIndex >= a.k {
 		agentIndex = ((agentIndex % a.k) + a.k) % a.k
 	}
-	pos := grid.Origin
-	r := 0        // current ring (0 = not started)
-	arcNext := 0  // next ring index within the current ring's arc
-	arcEnd := 0   // end of the current ring's arc
-	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
-		for {
-			if r == 0 || arcNext >= arcEnd {
-				// Advance to the next ring that has a non-empty arc for this
-				// agent. Rings smaller than k leave some agents idle on that
-				// ring; they skip ahead to the first ring wide enough.
-				r++
-				lo, hi := a.arcBounds(agentIndex, r)
-				if lo >= hi {
-					continue
-				}
-				arcNext, arcEnd = lo, hi
-			}
-			next := grid.RingPoint(r, arcNext%grid.RingSize(r))
-			arcNext++
-			if next == pos {
-				continue
-			}
-			seg := trajectory.NewWalk(pos, next)
-			pos = next
-			return seg, true
-		}
-	})
+	return &sectorSweepSearcher{alg: a, agentIndex: agentIndex}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *SectorSweep) ReuseSearcher(prev agent.Searcher, _ *xrand.Stream, agentIndex int) agent.Searcher {
+	if agentIndex < 0 || agentIndex >= a.k {
+		agentIndex = ((agentIndex % a.k) + a.k) % a.k
+	}
+	return agent.ReuseOrNew(prev, sectorSweepSearcher{alg: a, agentIndex: agentIndex})
 }
 
 // SectorSweepFactory returns a Factory that builds the coordinated sweep with

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/trajectory"
 	"antsearch/internal/xrand"
 )
 
@@ -95,24 +96,43 @@ func (a *ApproxHedge) Name() string {
 	return fmt.Sprintf("approx-hedge(kTilde=%d,eps=%.2g)", a.kTilde, a.epsilon)
 }
 
+// approxHedgeSearcher cycles through the hedged candidates within growing
+// stages (idx is incremented before use).
+type approxHedgeSearcher struct {
+	sortieEmitter
+	rng        *xrand.Stream
+	candidates []int
+	stage, idx int
+}
+
+// nextSortie implements sortieSource.
+func (s *approxHedgeSearcher) nextSortie() (sortie, bool) {
+	s.idx++
+	if s.idx >= len(s.candidates) {
+		s.idx = 0
+		s.stage++
+	}
+	c := float64(s.candidates[s.idx])
+	// Ldexp(1, e) is exactly 2^e, the same value math.Pow(2, e) returns.
+	radius := clampRadius(math.Sqrt(math.Ldexp(1, s.stage) * c))
+	steps := clampSteps(math.Ldexp(1, s.stage+2))
+	return sortie{
+		target:      s.rng.UniformBallPoint(radius),
+		spiralSteps: steps,
+	}, true
+}
+
+// NextSegment implements agent.Searcher.
+func (s *approxHedgeSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
+
 // NewSearcher implements agent.Algorithm.
 func (a *ApproxHedge) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
-	stage := 1
-	idx := -1 // index into candidates; incremented before use
-	return newSortieSearcher(func() (sortie, bool) {
-		idx++
-		if idx >= len(a.candidates) {
-			idx = 0
-			stage++
-		}
-		c := float64(a.candidates[idx])
-		radius := clampRadius(math.Sqrt(math.Pow(2, float64(stage)) * c))
-		steps := clampSteps(math.Pow(2, float64(stage+2)))
-		return sortie{
-			target:      rng.UniformBallPoint(radius),
-			spiralSteps: steps,
-		}, true
-	})
+	return &approxHedgeSearcher{rng: rng, candidates: a.candidates, stage: 1, idx: -1}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *ApproxHedge) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, approxHedgeSearcher{rng: rng, candidates: a.candidates, stage: 1, idx: -1})
 }
 
 // ApproxHedgeFactory returns a Factory modelling the Theorem 4.2 setting: for

@@ -74,48 +74,67 @@ type sortie struct {
 	spiralSteps int
 }
 
-// sortieSearcher turns a stream of sorties into a stream of trajectory
-// segments (walk out, spiral, walk back). It implements agent.Searcher.
-type sortieSearcher struct {
-	// next produces the parameters of the next sortie, or ok == false when
-	// the agent's schedule is over.
-	next    func() (sortie, bool)
-	pending []trajectory.Segment
+// sortieSource produces the parameters of an algorithm's next sortie, or
+// ok == false when the agent's schedule is over. Each algorithm implements it
+// on its searcher struct, which also embeds a sortieEmitter; the pair costs a
+// single allocation per searcher, which is what keeps the trial hot path
+// within its allocation budget (a closure-based searcher costs one allocation
+// per captured variable on top of the closure itself).
+type sortieSource interface {
+	nextSortie() (sortie, bool)
 }
 
-// newSortieSearcher returns a Searcher that repeatedly asks next for the next
-// sortie and expands it into segments.
-func newSortieSearcher(next func() (sortie, bool)) *sortieSearcher {
-	return &sortieSearcher{next: next}
+// sortieEmitter expands sorties into their trajectory segments (walk out,
+// spiral, walk back) using fixed inline storage, so emitting segments never
+// allocates.
+type sortieEmitter struct {
+	pending [3]trajectory.Seg
+	head, n int
 }
 
-// NextSegment implements agent.Searcher.
-func (s *sortieSearcher) NextSegment() (trajectory.Segment, bool) {
-	for len(s.pending) == 0 {
-		so, ok := s.next()
+// nextFrom returns the next segment of the schedule, pulling a fresh sortie
+// from src when the previous one is exhausted.
+func (e *sortieEmitter) nextFrom(src sortieSource) (trajectory.Seg, bool) {
+	for e.head >= e.n {
+		so, ok := src.nextSortie()
 		if !ok {
-			return nil, false
+			return trajectory.Seg{}, false
 		}
-		s.pending = expandSortie(so)
+		e.expand(so)
 	}
-	seg := s.pending[0]
-	s.pending = s.pending[1:]
+	seg := e.pending[e.head]
+	e.head++
 	return seg, true
 }
 
-// expandSortie converts a sortie into its explicit segments. Sorties whose
+// expand fills the emitter with a sortie's explicit segments. Sorties whose
 // target is the source itself skip the (empty) walks, and sorties with a
 // zero-length spiral skip the spiral, so that engines never receive
 // zero-duration segments unless the whole sortie is degenerate.
-func expandSortie(so sortie) []trajectory.Segment {
-	segs := make([]trajectory.Segment, 0, 3)
+func (e *sortieEmitter) expand(so sortie) {
+	e.head, e.n = 0, 0
 	if so.target != grid.Origin {
-		segs = append(segs, trajectory.NewWalk(grid.Origin, so.target))
+		e.pending[e.n] = trajectory.WalkSeg(grid.Origin, so.target)
+		e.n++
 	}
-	spiral := trajectory.NewSpiralSearch(so.target, so.spiralSteps)
-	segs = append(segs, spiral)
+	spiral := trajectory.SpiralSearchSeg(so.target, so.spiralSteps)
+	e.pending[e.n] = spiral
+	e.n++
 	if spiral.End() != grid.Origin {
-		segs = append(segs, trajectory.NewWalk(spiral.End(), grid.Origin))
+		e.pending[e.n] = trajectory.WalkSeg(spiral.End(), grid.Origin)
+		e.n++
+	}
+}
+
+// expandSortie converts a sortie into its explicit segments as a fresh slice.
+// The engines never call it (they go through sortieEmitter's inline storage);
+// it exists for tests and introspection.
+func expandSortie(so sortie) []trajectory.Segment {
+	var e sortieEmitter
+	e.expand(so)
+	segs := make([]trajectory.Segment, 0, e.n)
+	for _, seg := range e.pending[:e.n] {
+		segs = append(segs, seg)
 	}
 	return segs
 }

@@ -13,9 +13,9 @@ import (
 
 // collectSegments pulls up to n segments from a searcher and fails the test
 // if the trajectory is discontinuous or does not start at the source.
-func collectSegments(t *testing.T, s agent.Searcher, n int) []trajectory.Segment {
+func collectSegments(t *testing.T, s agent.Searcher, n int) []trajectory.Seg {
 	t.Helper()
-	var segs []trajectory.Segment
+	var segs []trajectory.Seg
 	pos := grid.Origin
 	for len(segs) < n {
 		seg, ok := s.NextSegment()
@@ -34,7 +34,7 @@ func collectSegments(t *testing.T, s agent.Searcher, n int) []trajectory.Segment
 // sortieCount counts how many times the trajectory returns to the source,
 // which for sortie-structured algorithms equals the number of completed
 // sorties.
-func sortieCount(segs []trajectory.Segment) int {
+func sortieCount(segs []trajectory.Seg) int {
 	count := 0
 	for _, seg := range segs {
 		if seg.End() == grid.Origin {
@@ -84,7 +84,7 @@ func TestKnownKScheduleShape(t *testing.T) {
 	// was drawn for: the spiral length divided by the square of the ball
 	// radius is the constant 4/k.
 	for _, seg := range segs {
-		sp, ok := seg.(trajectory.Spiral)
+		sp, ok := seg.AsSpiral()
 		if !ok || sp.Duration() == 0 {
 			continue
 		}
@@ -115,7 +115,7 @@ func TestKnownKTargetsWithinPhaseRadius(t *testing.T) {
 	rng := xrand.NewStream(7, 0)
 	segs := collectSegments(t, a.NewSearcher(rng, 0), 120)
 	for _, seg := range segs {
-		sp, ok := seg.(trajectory.Spiral)
+		sp, ok := seg.AsSpiral()
 		if !ok {
 			continue
 		}
@@ -270,7 +270,7 @@ func TestUniformScheduleGrows(t *testing.T) {
 	// radii) and sortie structure must keep returning to the source.
 	maxEarly, maxLate := 0, 0
 	for i, seg := range segs {
-		sp, ok := seg.(trajectory.Spiral)
+		sp, ok := seg.AsSpiral()
 		if !ok {
 			continue
 		}
@@ -347,7 +347,7 @@ func TestHarmonicSpiralBudgetMatchesDistance(t *testing.T) {
 		var sp trajectory.Spiral
 		found := false
 		for _, seg := range segs {
-			if s, ok := seg.(trajectory.Spiral); ok {
+			if s, ok := seg.AsSpiral(); ok {
 				sp, found = s, true
 				break
 			}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/trajectory"
 	"antsearch/internal/xrand"
 )
 
@@ -55,16 +56,39 @@ func (a *Harmonic) Delta() float64 { return a.delta }
 // Name implements agent.Algorithm.
 func (a *Harmonic) Name() string { return fmt.Sprintf("harmonic(delta=%.2g)", a.delta) }
 
+// harmonicSearcher draws harmonic sorties: exactly one for the one-shot
+// algorithm of Theorem 5.1, forever for the restarting extension.
+type harmonicSearcher struct {
+	sortieEmitter
+	rng     *xrand.Stream
+	delta   float64
+	restart bool
+	done    bool
+}
+
+// nextSortie implements sortieSource.
+func (s *harmonicSearcher) nextSortie() (sortie, bool) {
+	if s.done {
+		return sortie{}, false
+	}
+	if !s.restart {
+		s.done = true
+	}
+	h := Harmonic{delta: s.delta}
+	return h.sortie(s.rng), true
+}
+
+// NextSegment implements agent.Searcher.
+func (s *harmonicSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
+
 // NewSearcher implements agent.Algorithm.
 func (a *Harmonic) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
-	done := false
-	return newSortieSearcher(func() (sortie, bool) {
-		if done {
-			return sortie{}, false
-		}
-		done = true
-		return a.sortie(rng), true
-	})
+	return &harmonicSearcher{rng: rng, delta: a.delta}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *Harmonic) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, harmonicSearcher{rng: rng, delta: a.delta})
 }
 
 // sortie draws one harmonic sortie: a target u with p(u) ∝ 1/d(u)^(2+δ) and a
@@ -118,10 +142,12 @@ func (a *HarmonicRestart) Name() string {
 
 // NewSearcher implements agent.Algorithm.
 func (a *HarmonicRestart) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
-	inner := Harmonic{delta: a.delta}
-	return newSortieSearcher(func() (sortie, bool) {
-		return inner.sortie(rng), true
-	})
+	return &harmonicSearcher{rng: rng, delta: a.delta, restart: true}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *HarmonicRestart) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, harmonicSearcher{rng: rng, delta: a.delta, restart: true})
 }
 
 // HarmonicRestartFactory returns a Factory for the restarting harmonic

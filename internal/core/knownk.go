@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/trajectory"
 	"antsearch/internal/xrand"
 )
 
@@ -51,22 +52,43 @@ func (a *KnownK) K() int { return a.k }
 // Name implements agent.Algorithm.
 func (a *KnownK) Name() string { return fmt.Sprintf("known-k(k=%d)", a.k) }
 
+// knownKSearcher holds one agent's double-loop state (stage j, phase i; i is
+// incremented before use).
+type knownKSearcher struct {
+	sortieEmitter
+	rng  *xrand.Stream
+	k    int
+	j, i int
+}
+
+// nextSortie implements sortieSource.
+func (s *knownKSearcher) nextSortie() (sortie, bool) {
+	s.i++
+	if s.i > s.j {
+		s.j++
+		s.i = 1
+	}
+	// Ldexp(1, e) is exactly 2^e, the same value math.Pow(2, e) returns, at a
+	// fraction of the cost; this runs once per sortie on the hot path.
+	radius := clampRadius(math.Ldexp(1, s.i))
+	steps := clampSteps(math.Ldexp(1, 2*s.i+2) / float64(s.k))
+	return sortie{
+		target:      s.rng.UniformBallPoint(radius),
+		spiralSteps: steps,
+	}, true
+}
+
+// NextSegment implements agent.Searcher.
+func (s *knownKSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
+
 // NewSearcher implements agent.Algorithm.
 func (a *KnownK) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
-	j, i := 1, 0 // phase counters; i is incremented before use
-	return newSortieSearcher(func() (sortie, bool) {
-		i++
-		if i > j {
-			j++
-			i = 1
-		}
-		radius := clampRadius(math.Pow(2, float64(i)))
-		steps := clampSteps(math.Pow(2, float64(2*i+2)) / float64(a.k))
-		return sortie{
-			target:      rng.UniformBallPoint(radius),
-			spiralSteps: steps,
-		}, true
-	})
+	return &knownKSearcher{rng: rng, k: a.k, j: 1}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *KnownK) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, knownKSearcher{rng: rng, k: a.k, j: 1})
 }
 
 // Factory returns an agent.Factory that, for an instance with k agents,
@@ -123,6 +145,11 @@ func (a *RhoApprox) AssumedK() int { return a.inner.K() }
 // NewSearcher implements agent.Algorithm.
 func (a *RhoApprox) NewSearcher(rng *xrand.Stream, agentIndex int) agent.Searcher {
 	return a.inner.NewSearcher(rng, agentIndex)
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *RhoApprox) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, agentIndex int) agent.Searcher {
+	return a.inner.ReuseSearcher(prev, rng, agentIndex)
 }
 
 // RhoApproxFactory returns a Factory modelling the Corollary 3.2 setting: for

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/trajectory"
 	"antsearch/internal/xrand"
 )
 
@@ -59,31 +60,49 @@ func (a *Uniform) Epsilon() float64 { return a.epsilon }
 // Name implements agent.Algorithm.
 func (a *Uniform) Name() string { return fmt.Sprintf("uniform(eps=%.2g)", a.epsilon) }
 
+// uniformSearcher holds one agent's triple-loop state: big-stage ell >= 0,
+// stage i in [0, ell], phase j in [0, i]. j is incremented before use,
+// starting from -1 so that the first sortie is (ell=0, i=0, j=0).
+type uniformSearcher struct {
+	sortieEmitter
+	rng       *xrand.Stream
+	epsilon   float64
+	ell, i, j int
+}
+
+// nextSortie implements sortieSource.
+func (s *uniformSearcher) nextSortie() (sortie, bool) {
+	s.j++
+	if s.j > s.i {
+		s.i++
+		s.j = 0
+		if s.i > s.ell {
+			s.ell++
+			s.i = 0
+		}
+	}
+	jEff := math.Max(float64(s.j), 1)
+	denom := math.Pow(jEff, 1+s.epsilon)
+	// Ldexp(1, e) is exactly 2^e, the same value math.Pow(2, e) returns.
+	radius := clampRadius(math.Sqrt(math.Ldexp(1, s.i+s.j) / denom))
+	steps := clampSteps(math.Ldexp(1, s.i+2) / denom)
+	return sortie{
+		target:      s.rng.UniformBallPoint(radius),
+		spiralSteps: steps,
+	}, true
+}
+
+// NextSegment implements agent.Searcher.
+func (s *uniformSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
+
 // NewSearcher implements agent.Algorithm.
 func (a *Uniform) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
-	// Loop state: big-stage ell >= 0, stage i in [0, ell], phase j in [0, i].
-	// j is incremented before use, starting from -1 so that the first sortie
-	// is (ell=0, i=0, j=0).
-	ell, i, j := 0, 0, -1
-	return newSortieSearcher(func() (sortie, bool) {
-		j++
-		if j > i {
-			i++
-			j = 0
-			if i > ell {
-				ell++
-				i = 0
-			}
-		}
-		jEff := math.Max(float64(j), 1)
-		denom := math.Pow(jEff, 1+a.epsilon)
-		radius := clampRadius(math.Sqrt(math.Pow(2, float64(i+j)) / denom))
-		steps := clampSteps(math.Pow(2, float64(i+2)) / denom)
-		return sortie{
-			target:      rng.UniformBallPoint(radius),
-			spiralSteps: steps,
-		}, true
-	})
+	return &uniformSearcher{rng: rng, epsilon: a.epsilon, j: -1}
+}
+
+// ReuseSearcher implements agent.SearcherReuser.
+func (a *Uniform) ReuseSearcher(prev agent.Searcher, rng *xrand.Stream, _ int) agent.Searcher {
+	return agent.ReuseOrNew(prev, uniformSearcher{rng: rng, epsilon: a.epsilon, j: -1})
 }
 
 // UniformFactory returns a Factory for the uniform algorithm: the returned

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
@@ -45,6 +46,53 @@ type Runner struct {
 	// and results are written index-for-index, so the output is identical to
 	// the sequential path whatever the fan-out (see TestRunnerCellWorkersParity).
 	CellWorkers int
+	// Adaptive, when true, makes Run ignore Workers and CellWorkers and pick
+	// the split itself with AutoSplit: a grid of many small cells routes the
+	// cores to cross-cell parallelism with sequential trials per cell, a grid
+	// of few big cells routes them to trial-level parallelism. The results
+	// are bit-identical to every fixed configuration; only scheduling
+	// changes.
+	Adaptive bool
+}
+
+// AutoSplit divides a core budget (0 or negative = GOMAXPROCS) between
+// cross-cell and intra-cell parallelism for the given cells. The two layers
+// multiply — cellWorkers cells in flight, each fanning trials over
+// trialWorkers goroutines — so the product stays within the budget. The
+// heuristic is the cells × trials shape of the grid: cells are the coarser,
+// lower-overhead unit of work, so they get the cores first (many small cells
+// → cellWorkers = cores, sequential trials); only when there are fewer cells
+// than cores does the remainder go to trial-level fan-out (few big cells →
+// trialWorkers = cores/cells), capped by the largest trial budget, which
+// bounds the useful trial parallelism.
+func AutoSplit(cells []Cell, cores int) (cellWorkers, trialWorkers int) {
+	if cores <= 0 {
+		cores = runtime.GOMAXPROCS(0)
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	if len(cells) == 0 {
+		return 1, 1
+	}
+	cellWorkers = cores
+	if len(cells) < cellWorkers {
+		cellWorkers = len(cells)
+	}
+	trialWorkers = cores / cellWorkers
+	maxTrials := 1
+	for _, c := range cells {
+		if c.Trials > maxTrials {
+			maxTrials = c.Trials
+		}
+	}
+	if trialWorkers > maxTrials {
+		trialWorkers = maxTrials
+	}
+	if trialWorkers < 1 {
+		trialWorkers = 1
+	}
+	return cellWorkers, trialWorkers
 }
 
 // RunOne executes a single cell and returns its aggregated statistics.
@@ -81,6 +129,10 @@ func (r Runner) RunOne(ctx context.Context, cell Cell) (sim.TrialStats, error) {
 // identical — bit for bit — across all CellWorkers values; only wall-clock
 // time and error selection under multiple failures differ.
 func (r Runner) Run(ctx context.Context, cells []Cell) ([]sim.TrialStats, error) {
+	if r.Adaptive {
+		r.CellWorkers, r.Workers = AutoSplit(cells, 0)
+		r.Adaptive = false
+	}
 	if r.CellWorkers > 1 {
 		return parallel.Map(ctx, len(cells), r.CellWorkers, func(i int) (sim.TrialStats, error) {
 			return r.RunOne(ctx, cells[i])

@@ -265,3 +265,90 @@ func TestRunnerErrors(t *testing.T) {
 		t.Errorf("axis adversary run: %+v", st)
 	}
 }
+
+// TestAutoSplit pins the adaptive heuristic's two regimes: many small cells
+// route the cores to cross-cell parallelism with sequential trials, few big
+// cells route them to trial-level fan-out.
+func TestAutoSplit(t *testing.T) {
+	t.Parallel()
+
+	small := make([]Cell, 64)
+	for i := range small {
+		small[i] = Cell{Trials: 8}
+	}
+	cw, tw := AutoSplit(small, 8)
+	if cw != 8 || tw != 1 {
+		t.Errorf("64 small cells on 8 cores: split (%d, %d), want (8, 1)", cw, tw)
+	}
+
+	big := []Cell{{Trials: 100000}, {Trials: 100000}}
+	cw, tw = AutoSplit(big, 8)
+	if cw != 2 || tw != 4 {
+		t.Errorf("2 big cells on 8 cores: split (%d, %d), want (2, 4)", cw, tw)
+	}
+
+	// The largest trial budget bounds the useful trial-level fan-out.
+	tiny := []Cell{{Trials: 2}}
+	cw, tw = AutoSplit(tiny, 16)
+	if cw != 1 || tw != 2 {
+		t.Errorf("1 two-trial cell on 16 cores: split (%d, %d), want (1, 2)", cw, tw)
+	}
+
+	if cw, tw = AutoSplit(nil, 8); cw != 1 || tw != 1 {
+		t.Errorf("no cells: split (%d, %d), want (1, 1)", cw, tw)
+	}
+	// cores <= 0 falls back to GOMAXPROCS; the split must stay positive.
+	if cw, tw = AutoSplit(small, 0); cw < 1 || tw < 1 {
+		t.Errorf("GOMAXPROCS fallback produced a degenerate split (%d, %d)", cw, tw)
+	}
+}
+
+// TestRunnerAdaptiveParity checks that the adaptive splitter reproduces the
+// statistics of both fixed configurations it arbitrates between — all cores
+// on cells, and all cores on trials — exactly, on both of its regimes.
+func TestRunnerAdaptiveParity(t *testing.T) {
+	t.Parallel()
+
+	grids := []Grid{
+		{ // many small cells
+			Scenarios: []string{"known-k", "uniform"},
+			Params:    DefaultParams(),
+			Ks:        []int{1, 2, 3, 4},
+			Ds:        []int{5, 9},
+			Trials:    5,
+			Seed:      17,
+		},
+		{ // few big cells
+			Scenarios: []string{"known-k"},
+			Params:    DefaultParams(),
+			Ks:        []int{2},
+			Ds:        []int{7},
+			Trials:    600,
+			Seed:      17,
+		},
+	}
+	for i, g := range grids {
+		cells, err := g.Cells()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Runner{CellWorkers: 8, Workers: 1}.Run(context.Background(), cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross, err := Runner{CellWorkers: 1, Workers: 8}.Run(context.Background(), cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cross, want) {
+			t.Fatalf("grid %d: the two fixed configurations disagree; parity premise broken", i)
+		}
+		got, err := Runner{Adaptive: true}.Run(context.Background(), cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("grid %d: adaptive runner differs from the fixed configurations", i)
+		}
+	}
+}

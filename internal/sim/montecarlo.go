@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
@@ -242,6 +243,48 @@ func runTrial(cfg TrialConfig, alg agent.Algorithm, trial int) (Result, error) {
 	})
 }
 
+// enginePool recycles engines — their agent slots, heap storage and, through
+// agent.SearcherReuser, their searchers — across shards and across cells.
+// Below maxShards trials every shard holds a single trial, so without the
+// pool small cells would rebuild the whole engine per trial; with it, steady
+// state serves every shard of every concurrent sweep from a handful of
+// engines per worker goroutine. Engines carry no results, only scratch
+// state, and reset re-derives everything from (seed, trial), so reuse cannot
+// leak state between trials.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+// runShard executes the contiguous trial range [lo, hi) with one pooled
+// engine and folds the results into a fresh accumulator. All per-trial state
+// — agent slots, heap storage, per-agent and placement streams — is reset in
+// place between trials, so the engine-level allocation cost is O(1) per
+// shard, not per trial; algorithms implementing agent.SearcherReuser bring
+// even the searcher allocations down to pool-miss-only. Every trial's
+// randomness still derives from (seed, trial) alone, exactly as in runTrial,
+// so the per-trial results are independent of the sharding.
+func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi int) (*TrialAccumulator, error) {
+	acc := NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
+	e := enginePool.Get().(*engine)
+	defer enginePool.Put(e)
+	inst := Instance{Algorithm: alg, NumAgents: cfg.NumAgents}
+	opts := Options{MaxTime: cfg.MaxTime}
+	for trial := lo; trial < hi; trial++ {
+		if err := ctx.Err(); err != nil {
+			// Batched shards run many trials per task; observe cancellation
+			// between trials, not only between shards.
+			return nil, err
+		}
+		e.placeRNG.Reset(cfg.Seed, 0xad5e, uint64(trial))
+		inst.Treasure = cfg.Adversary.Place(trial, &e.placeRNG)
+		opts.Seed = xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial))
+		r, err := e.run(inst, opts, advanceAnalytic)
+		if err != nil {
+			return nil, err
+		}
+		acc.Add(r)
+	}
+	return acc, nil
+}
+
 // MonteCarlo runs the configured number of independent trials, fanning them
 // out over goroutines, and aggregates the results with per-shard streaming
 // accumulators merged in shard order. The aggregation is deterministic: it
@@ -259,21 +302,8 @@ func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 
 	shards := numShards(cfg.Trials)
 	accs, err := parallel.Map(ctx, shards, cfg.Workers, func(s int) (*TrialAccumulator, error) {
-		acc := NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
 		lo, hi := shardRange(cfg.Trials, shards, s)
-		for trial := lo; trial < hi; trial++ {
-			if err := ctx.Err(); err != nil {
-				// Batched shards run many trials per task; observe
-				// cancellation between trials, not only between shards.
-				return nil, err
-			}
-			r, err := runTrial(cfg, alg, trial)
-			if err != nil {
-				return nil, err
-			}
-			acc.Add(r)
-		}
-		return acc, nil
+		return runShard(ctx, cfg, alg, lo, hi)
 	})
 	if err != nil {
 		return TrialStats{}, fmt.Errorf("sim: monte carlo: %w", err)

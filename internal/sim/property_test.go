@@ -25,32 +25,32 @@ func (a randomSortieAlgorithm) Name() string { return "random-sorties" }
 
 func (a randomSortieAlgorithm) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
 	remaining := a.sorties
-	var pending []trajectory.Segment
+	var pending []trajectory.Seg
 	pos := grid.Origin
-	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
+	return agent.SegmentFunc(func() (trajectory.Seg, bool) {
 		for len(pending) == 0 {
 			if remaining == 0 {
-				return nil, false
+				return trajectory.Seg{}, false
 			}
 			remaining--
 			switch rng.IntN(3) {
 			case 0: // pause in place
-				pending = append(pending, trajectory.NewPause(pos, rng.IntN(20)))
+				pending = append(pending, trajectory.PauseSeg(pos, rng.IntN(20)))
 			case 1: // pure walk to a random node of the ball (no return)
 				target := rng.UniformBallPoint(a.radius)
 				if target != pos {
-					pending = append(pending, trajectory.NewWalk(pos, target))
+					pending = append(pending, trajectory.WalkSeg(pos, target))
 					pos = target
 				}
 			default: // full sortie: walk out, truncated spiral, walk back
 				target := rng.UniformBallPoint(a.radius)
 				if target != pos {
-					pending = append(pending, trajectory.NewWalk(pos, target))
+					pending = append(pending, trajectory.WalkSeg(pos, target))
 				}
-				spiral := trajectory.NewSpiralSearch(target, rng.IntN(300))
+				spiral := trajectory.SpiralSearchSeg(target, rng.IntN(300))
 				pending = append(pending, spiral)
 				if spiral.End() != pos {
-					pending = append(pending, trajectory.NewWalk(spiral.End(), pos))
+					pending = append(pending, trajectory.WalkSeg(spiral.End(), pos))
 				}
 			}
 		}

@@ -30,7 +30,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -131,7 +130,10 @@ func lowerBound(d, k int) float64 {
 // rather than panicking so that experiment sweeps fail cleanly.
 var ErrDiscontinuousTrajectory = errors.New("sim: searcher emitted a discontinuous trajectory")
 
-// agentState is the per-agent bookkeeping shared by both engines.
+// agentState is the per-agent bookkeeping shared by both engines. States live
+// in the engine's flat agents slice and embed their random stream by value,
+// so resetting an agent between trials touches memory in place instead of
+// allocating a generator, a state struct and a heap entry per agent.
 type agentState struct {
 	idx      int
 	searcher agent.Searcher
@@ -141,6 +143,9 @@ type agentState struct {
 	// it guards the engine loop against algorithms that emit zero-duration
 	// segments forever.
 	zeroStreak int
+	// stream is the agent's private randomness, derived from the run seed and
+	// the agent index.
+	stream xrand.Stream
 }
 
 // maxZeroStreak is the number of consecutive zero-duration segments an agent
@@ -152,49 +157,100 @@ const maxZeroStreak = 1 << 20
 // segments without ever advancing simulated time.
 var ErrNoProgress = errors.New("sim: searcher makes no progress (zero-duration segments)")
 
-// agentQueue is a min-heap of agent states ordered by (elapsed, idx), so the
-// engines always advance the agent that is furthest behind in simulated time
-// and tie-break deterministically.
-type agentQueue []*agentState
-
-func (q agentQueue) Len() int { return len(q) }
-
-func (q agentQueue) Less(i, j int) bool {
-	if q[i].elapsed != q[j].elapsed {
-		return q[i].elapsed < q[j].elapsed
-	}
-	return q[i].idx < q[j].idx
+// engine is the reusable state of the simulation loop: flat per-agent
+// storage, an index-based min-heap over it, and a scratch stream for treasure
+// placement. A fresh engine is ready to use (the zero value); reset prepares
+// it for a trial, reusing the agent and heap storage from the previous trial
+// of the same shard, so a shard of any number of trials performs O(1)
+// engine-level allocations in total. Engines are not safe for concurrent use;
+// the Monte-Carlo fan-out gives each shard its own.
+type engine struct {
+	agents []agentState
+	// heap holds agent indices ordered by (elapsed, idx): the engines always
+	// advance the agent that is furthest behind in simulated time and
+	// tie-break deterministically. (elapsed, idx) is a strict total order, so
+	// the sequence of advanced agents — and therefore every result — is
+	// independent of the heap's internal layout.
+	heap []int32
+	// placeRNG is the per-trial treasure-placement stream, reused across a
+	// shard's trials by runShard.
+	placeRNG xrand.Stream
 }
 
-func (q agentQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-// Push implements heap.Interface.
-func (q *agentQueue) Push(x any) { *q = append(*q, x.(*agentState)) }
-
-// Pop implements heap.Interface.
-func (q *agentQueue) Pop() any {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return item
+// agentLess is the heap order: (elapsed, idx) ascending.
+func (e *engine) agentLess(i, j int32) bool {
+	a, b := &e.agents[i], &e.agents[j]
+	if a.elapsed != b.elapsed {
+		return a.elapsed < b.elapsed
+	}
+	return a.idx < b.idx
 }
 
-// newAgentQueue creates the initial heap with every agent at the source at
-// time zero.
-func newAgentQueue(in Instance, opts Options) agentQueue {
-	q := make(agentQueue, 0, in.NumAgents)
-	for a := 0; a < in.NumAgents; a++ {
-		rng := xrand.NewStream(opts.Seed, uint64(a))
-		q = append(q, &agentState{
-			idx:      a,
-			searcher: in.Algorithm.NewSearcher(rng, a),
-			pos:      grid.Origin,
-		})
+// siftDown restores the heap property below position i.
+func (e *engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && e.agentLess(e.heap[r], e.heap[l]) {
+			m = r
+		}
+		if !e.agentLess(e.heap[m], e.heap[i]) {
+			return
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
 	}
-	heap.Init(&q)
-	return q
+}
+
+// popTop removes the minimum agent from the heap.
+func (e *engine) popTop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+}
+
+// fixTop restores the heap property after the top agent's elapsed time grew.
+func (e *engine) fixTop() { e.siftDown(0) }
+
+// reset prepares the engine for one trial: every agent back at the source at
+// time zero with a freshly reseeded stream and a new searcher, and the heap
+// over all agents. All agents start with equal elapsed time and the heap
+// breaks ties by index, so the identity ordering is the correct initial heap.
+// Algorithms that implement agent.SearcherReuser get their previous trial's
+// searcher back to reset in place, which makes a whole shard of trials run
+// without a single engine-level allocation after the first trial.
+func (e *engine) reset(in Instance, opts Options) {
+	if cap(e.agents) < in.NumAgents {
+		// A fresh slice leaves every searcher nil, so the reuse path below
+		// cannot hand an algorithm a searcher whose stream pointer refers to
+		// the previous slice's storage.
+		e.agents = make([]agentState, in.NumAgents)
+		e.heap = make([]int32, in.NumAgents)
+	}
+	e.agents = e.agents[:in.NumAgents]
+	e.heap = e.heap[:in.NumAgents]
+	reuser, _ := in.Algorithm.(agent.SearcherReuser)
+	for a := range e.agents {
+		st := &e.agents[a]
+		st.idx = a
+		st.elapsed = 0
+		st.pos = grid.Origin
+		st.zeroStreak = 0
+		st.stream.Reset(opts.Seed, uint64(a))
+		if reuser != nil && st.searcher != nil {
+			st.searcher = reuser.ReuseSearcher(st.searcher, &st.stream, a)
+		} else {
+			st.searcher = in.Algorithm.NewSearcher(&st.stream, a)
+		}
+		e.heap[a] = int32(a)
+	}
 }
 
 // stepOutcome is what advancing one agent by one segment reports back to the
@@ -210,7 +266,8 @@ type stepOutcome struct {
 // Run simulates the instance with the analytic engine and returns the
 // first-hit result.
 func Run(in Instance, opts Options) (Result, error) {
-	return run(in, opts, advanceAnalytic)
+	var e engine
+	return e.run(in, opts, advanceAnalytic)
 }
 
 // RunExact simulates the instance cell by cell. If visit is non-nil it is
@@ -225,7 +282,8 @@ func RunExact(in Instance, opts Options, visit func(agentIdx, t int, p grid.Poin
 			visit(a, 0, grid.Origin)
 		}
 	}
-	return run(in, opts, func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
+	var e engine
+	return e.run(in, opts, func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
 		return advanceExact(st, treasure, budget, visit)
 	})
 }
@@ -234,8 +292,8 @@ func RunExact(in Instance, opts Options, visit func(agentIdx, t int, p grid.Poin
 // budget (no times >= budget may be reported as hits).
 type advanceFunc func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error)
 
-// run is the engine loop shared by Run and RunExact.
-func run(in Instance, opts Options, advance advanceFunc) (Result, error) {
+// run is the engine loop shared by Run, RunExact and runShard.
+func (e *engine) run(in Instance, opts Options, advance advanceFunc) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -248,10 +306,10 @@ func run(in Instance, opts Options, advance advanceFunc) (Result, error) {
 		LowerBound: lowerBound(in.Treasure.L1(), in.NumAgents),
 	}
 
-	q := newAgentQueue(in, opts)
+	e.reset(in, opts)
 	best := timeCap
-	for q.Len() > 0 {
-		st := q[0]
+	for len(e.heap) > 0 {
+		st := &e.agents[e.heap[0]]
 		if st.elapsed >= best {
 			// Every remaining agent is already past the best hit time (or
 			// the cap); nothing can improve the answer.
@@ -278,10 +336,10 @@ func run(in Instance, opts Options, advance advanceFunc) (Result, error) {
 			res.Time = outcome.hit
 		}
 		if outcome.finished || outcome.hit >= 0 || st.elapsed >= best {
-			heap.Pop(&q)
+			e.popTop()
 			continue
 		}
-		heap.Fix(&q, 0)
+		e.fixTop()
 	}
 	return res, nil
 }
@@ -306,13 +364,14 @@ func advanceAnalytic(st *agentState, treasure grid.Point, budget int) (stepOutco
 		st.elapsed = budget
 		return stepOutcome{hit: -1}, nil
 	}
-	if seg.Duration() > budget-st.elapsed {
+	if d := seg.Duration(); d > budget-st.elapsed {
 		// The segment alone overshoots the budget; saturate rather than
 		// overflow the elapsed counter.
 		st.elapsed = budget
 		return stepOutcome{hit: -1}, nil
+	} else {
+		st.elapsed += d
 	}
-	st.elapsed += seg.Duration()
 	st.pos = seg.End()
 	return stepOutcome{hit: -1}, nil
 }

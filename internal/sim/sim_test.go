@@ -216,13 +216,13 @@ func (teleportAlgorithm) Name() string { return "teleport" }
 
 func (teleportAlgorithm) NewSearcher(*xrand.Stream, int) agent.Searcher {
 	emitted := false
-	return agent.SegmentFunc(func() (trajectory.Segment, bool) {
+	return agent.SegmentFunc(func() (trajectory.Seg, bool) {
 		if emitted {
 			// Starts at (5,5) although the previous segment ended at (1,0).
-			return trajectory.NewWalk(grid.Point{X: 5, Y: 5}, grid.Point{X: 6, Y: 5}), true
+			return trajectory.WalkSeg(grid.Point{X: 5, Y: 5}, grid.Point{X: 6, Y: 5}), true
 		}
 		emitted = true
-		return trajectory.NewWalk(grid.Origin, grid.Point{X: 1}), true
+		return trajectory.WalkSeg(grid.Origin, grid.Point{X: 1}), true
 	})
 }
 

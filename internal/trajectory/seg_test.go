@@ -1,0 +1,138 @@
+package trajectory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"antsearch/internal/grid"
+)
+
+// segEquivalent checks that a Seg answers every Segment query exactly like
+// the boxed reference implementation.
+func segEquivalent(t *testing.T, name string, s Seg, ref Segment) {
+	t.Helper()
+	if s.Start() != ref.Start() {
+		t.Errorf("%s: Start %v, ref %v", name, s.Start(), ref.Start())
+	}
+	if s.End() != ref.End() {
+		t.Errorf("%s: End %v, ref %v", name, s.End(), ref.End())
+	}
+	if s.Duration() != ref.Duration() {
+		t.Errorf("%s: Duration %d, ref %d", name, s.Duration(), ref.Duration())
+	}
+	if s.String() != ref.String() {
+		t.Errorf("%s: String %q, ref %q", name, s.String(), ref.String())
+	}
+	for t0 := 0; t0 <= s.Duration() && t0 <= 64; t0++ {
+		if s.At(t0) != ref.At(t0) {
+			t.Errorf("%s: At(%d) = %v, ref %v", name, t0, s.At(t0), ref.At(t0))
+		}
+	}
+	targets := []grid.Point{ref.Start(), ref.End(), {X: 1}, {X: -2, Y: 3}, {Y: -5}}
+	for _, target := range targets {
+		gotT, gotOK := s.HitTime(target)
+		refT, refOK := ref.HitTime(target)
+		if gotT != refT || gotOK != refOK {
+			t.Errorf("%s: HitTime(%v) = (%d, %v), ref (%d, %v)", name, target, gotT, gotOK, refT, refOK)
+		}
+	}
+	var gotSeq, refSeq []grid.Point
+	s.ForEach(func(_ int, p grid.Point) bool { gotSeq = append(gotSeq, p); return len(gotSeq) < 200 })
+	ref.ForEach(func(_ int, p grid.Point) bool { refSeq = append(refSeq, p); return len(refSeq) < 200 })
+	if len(gotSeq) != len(refSeq) {
+		t.Fatalf("%s: ForEach visited %d nodes, ref %d", name, len(gotSeq), len(refSeq))
+	}
+	for i := range refSeq {
+		if gotSeq[i] != refSeq[i] {
+			t.Errorf("%s: ForEach node %d = %v, ref %v", name, i, gotSeq[i], refSeq[i])
+		}
+	}
+}
+
+func TestSegMatchesBoxedSegments(t *testing.T) {
+	t.Parallel()
+
+	prop := func(ax, ay, bx, by int8, fromRaw, lenRaw uint8) bool {
+		a := grid.Point{X: int(ax) % 20, Y: int(ay) % 20}
+		b := grid.Point{X: int(bx) % 20, Y: int(by) % 20}
+		from := int(fromRaw) % 50
+		to := from + int(lenRaw)%100
+
+		segEquivalent(t, "walk", WalkSeg(a, b), NewWalk(a, b))
+		segEquivalent(t, "spiral", SpiralSeg(a, from, to), NewSpiral(a, from, to))
+		segEquivalent(t, "spiral-search", SpiralSearchSeg(a, to), NewSpiralSearch(a, to))
+		segEquivalent(t, "pause", PauseSeg(a, from), NewPause(a, from))
+		return !t.Failed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Errorf("Seg/Segment equivalence violated: %v", err)
+	}
+}
+
+func TestSegConversionsRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	w := NewWalk(grid.Point{X: 2, Y: -1}, grid.Point{X: -4, Y: 3})
+	if got, ok := w.Seg().AsWalk(); !ok || got != w {
+		t.Errorf("walk round trip: got %+v ok=%v, want %+v", got, ok, w)
+	}
+	if w.Seg().Kind() != KindWalk {
+		t.Error("walk Seg has wrong kind")
+	}
+	if _, ok := w.Seg().AsSpiral(); ok {
+		t.Error("walk Seg claims to be a spiral")
+	}
+
+	sp := NewSpiral(grid.Point{X: 1, Y: 1}, 3, 17)
+	if got, ok := sp.Seg().AsSpiral(); !ok || got != sp {
+		t.Errorf("spiral round trip: got %+v ok=%v, want %+v", got, ok, sp)
+	}
+	if sp.Seg().Kind() != KindSpiral {
+		t.Error("spiral Seg has wrong kind")
+	}
+
+	p := NewPause(grid.Point{Y: 4}, 9)
+	if got, ok := p.Seg().AsPause(); !ok || got != p {
+		t.Errorf("pause round trip: got %+v ok=%v, want %+v", got, ok, p)
+	}
+	if p.Seg().Kind() != KindPause {
+		t.Error("pause Seg has wrong kind")
+	}
+	if _, ok := p.Seg().AsWalk(); ok {
+		t.Error("pause Seg claims to be a walk")
+	}
+}
+
+func TestSegZeroValue(t *testing.T) {
+	t.Parallel()
+
+	var s Seg
+	if s.Kind() != KindWalk || s.Duration() != 0 || s.Start() != grid.Origin || s.End() != grid.Origin {
+		t.Errorf("zero Seg should be a zero-length walk at the origin, got %v", s)
+	}
+}
+
+func TestSegPanicsMatchConstructors(t *testing.T) {
+	t.Parallel()
+
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("negative fromStep", func() { SpiralSeg(grid.Origin, -1, 3) })
+	assertPanics("inverted range", func() { SpiralSeg(grid.Origin, 5, 2) })
+	assertPanics("At out of range", func() { WalkSeg(grid.Origin, grid.Point{X: 2}).At(3) })
+
+	// Clamping constructors must not panic.
+	if d := SpiralSearchSeg(grid.Origin, -7).Duration(); d != 0 {
+		t.Errorf("negative spiral search clamps to duration 0, got %d", d)
+	}
+	if d := PauseSeg(grid.Origin, -7).Duration(); d != 0 {
+		t.Errorf("negative pause clamps to duration 0, got %d", d)
+	}
+}

@@ -48,12 +48,15 @@ type Segment interface {
 type Walk struct {
 	from grid.Point
 	to   grid.Point
+	// length caches grid.PathLength(from, to): Duration is called several
+	// times per segment by both engines, and the distance never changes.
+	length int
 }
 
 // NewWalk returns a Walk from one node to another. A zero-length walk (from
 // == to) is valid and has duration 0.
 func NewWalk(from, to grid.Point) Walk {
-	return Walk{from: from, to: to}
+	return Walk{from: from, to: to, length: grid.PathLength(from, to)}
 }
 
 var _ Segment = Walk{}
@@ -65,7 +68,7 @@ func (w Walk) Start() grid.Point { return w.from }
 func (w Walk) End() grid.Point { return w.to }
 
 // Duration implements Segment.
-func (w Walk) Duration() int { return grid.PathLength(w.from, w.to) }
+func (w Walk) Duration() int { return w.length }
 
 // HitTime implements Segment.
 func (w Walk) HitTime(target grid.Point) (int, bool) {

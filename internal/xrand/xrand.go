@@ -8,10 +8,20 @@
 // derived from an experiment seed plus a path of indices (trial, agent, ...)
 // via SplitMix64, so results do not depend on scheduling, on the number of
 // worker goroutines, or on the order in which trials run.
+//
+// Stream is a value type holding the PCG generator state inline, so the
+// simulation engines can keep one stream per agent slot in flat storage and
+// Reset it between trials instead of allocating a new generator per trial —
+// the trial hot path performs no RNG allocations at all. The outputs are
+// bit-identical to the previous *rand.Rand-backed implementation: the
+// generator is the standard library's PCG (embedded by value) and the derived
+// samplers replicate math/rand/v2's algorithms exactly, pinned by
+// TestStreamMatchesStdlib.
 package xrand
 
 import (
 	"math"
+	"math/bits"
 	"math/rand/v2"
 )
 
@@ -37,32 +47,75 @@ func DeriveSeed(base uint64, path ...uint64) uint64 {
 	return s
 }
 
-// Stream is a deterministic pseudo-random stream. It wraps the standard
-// library's PCG generator and adds the domain-specific samplers used by the
-// search algorithms.
+// Stream is a deterministic pseudo-random stream: the standard library's PCG
+// generator held by value, plus the domain-specific samplers used by the
+// search algorithms. The zero value is a valid (zero-seeded) stream; use
+// NewStream or Reset to seed it. Streams must not be copied after first use
+// (copies would replay the same values); engines embed them in per-agent
+// state and pass pointers around.
 type Stream struct {
-	rng *rand.Rand
+	pcg rand.PCG
 }
 
 // NewStream returns a stream seeded from the base seed and the given path of
 // indices (for example trial index then agent index).
 func NewStream(base uint64, path ...uint64) *Stream {
+	s := &Stream{}
+	s.Reset(base, path...)
+	return s
+}
+
+// Reset reseeds the stream in place from the base seed and path, exactly as
+// NewStream would, without allocating. The simulation engines call it between
+// trials to reuse one stream per agent slot across a whole shard.
+func (s *Stream) Reset(base uint64, path ...uint64) {
 	seed := DeriveSeed(base, path...)
-	return &Stream{rng: rand.New(rand.NewPCG(seed, splitMix64(seed)))}
+	s.pcg.Seed(seed, splitMix64(seed))
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.
-func (s *Stream) Uint64() uint64 { return s.rng.Uint64() }
+func (s *Stream) Uint64() uint64 { return s.pcg.Uint64() }
+
+// uint64n returns a uniform value in [0, n) for n > 0, replicating
+// math/rand/v2's nearly-divisionless reduction (Lemire) so the consumed
+// generator values — and therefore every downstream sample — match the
+// previous rand.Rand-backed implementation bit for bit.
+func (s *Stream) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 { // n is a power of two; mask
+		return s.pcg.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(s.pcg.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.pcg.Uint64(), n)
+		}
+	}
+	return hi
+}
 
 // IntN returns a uniform integer in [0, n). It panics if n <= 0, matching
 // math/rand/v2 semantics.
-func (s *Stream) IntN(n int) int { return s.rng.IntN(n) }
+func (s *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic("xrand: invalid argument to IntN")
+	}
+	return int(s.uint64n(uint64(n)))
+}
 
 // Int64N returns a uniform int64 in [0, n).
-func (s *Stream) Int64N(n int64) int64 { return s.rng.Int64N(n) }
+func (s *Stream) Int64N(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: invalid argument to Int64N")
+	}
+	return int64(s.uint64n(uint64(n)))
+}
 
 // Float64 returns a uniform value in [0, 1).
-func (s *Stream) Float64() float64 { return s.rng.Float64() }
+func (s *Stream) Float64() float64 {
+	// There are exactly 1<<53 float64s in [0,1); math/rand/v2's construction.
+	return float64(s.pcg.Uint64()<<11>>11) / (1 << 53)
+}
 
 // Bernoulli returns true with probability p (clamped to [0, 1]).
 func (s *Stream) Bernoulli(p float64) bool {
@@ -72,17 +125,48 @@ func (s *Stream) Bernoulli(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.rng.Float64() < p
+	return s.Float64() < p
 }
 
-// Perm returns a pseudo-random permutation of [0, n).
-func (s *Stream) Perm(n int) []int { return s.rng.Perm(n) }
+// PermInto fills p with a pseudo-random permutation of [0, len(p)) without
+// allocating, consuming exactly the random values Perm would (identity fill
+// followed by a Fisher–Yates shuffle, as in math/rand/v2).
+func (s *Stream) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := int(s.uint64n(uint64(i + 1)))
+		p[i], p[j] = p[j], p[i]
+	}
+}
 
-// ExpFloat64 returns an exponentially distributed value with rate 1.
-func (s *Stream) ExpFloat64() float64 { return s.rng.ExpFloat64() }
+// Perm returns a pseudo-random permutation of [0, n). It is a convenience
+// wrapper over PermInto; per-trial call sites should reuse a buffer with
+// PermInto instead.
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	s.PermInto(p)
+	return p
+}
 
-// NormFloat64 returns a standard normal value.
-func (s *Stream) NormFloat64() float64 { return s.rng.NormFloat64() }
+// source adapts a Stream to math/rand/v2's Source interface for the cold-path
+// samplers below that delegate to the standard library's ziggurat tables.
+type source struct{ s *Stream }
+
+// Uint64 implements rand.Source.
+func (src source) Uint64() uint64 { return src.s.pcg.Uint64() }
+
+// ExpFloat64 returns an exponentially distributed value with rate 1. It
+// delegates to the standard library's ziggurat sampler over this stream's
+// generator (bit-identical to the previous implementation); the small
+// per-call allocation makes it unsuitable for the trial hot path, which does
+// not use it.
+func (s *Stream) ExpFloat64() float64 { return rand.New(source{s}).ExpFloat64() }
+
+// NormFloat64 returns a standard normal value. Like ExpFloat64 it delegates
+// to the standard library's ziggurat sampler and is not a hot-path method.
+func (s *Stream) NormFloat64() float64 { return rand.New(source{s}).NormFloat64() }
 
 // PowerLawRadius samples an integer radius r >= 1 with probability
 // proportional to r^-(1+delta), for delta > 0. The support is unbounded; the
@@ -99,7 +183,7 @@ func (s *Stream) PowerLawRadius(delta float64) int {
 	// pi(r) ∝ r^-(1+delta) and pi(r) <= M·q(r) with M = 2^(1+delta)/delta.
 	m := math.Pow(2, 1+delta) / delta
 	for {
-		u := s.rng.Float64()
+		u := s.Float64()
 		if u == 0 {
 			continue
 		}
@@ -117,7 +201,7 @@ func (s *Stream) PowerLawRadius(delta float64) int {
 		if q <= 0 {
 			continue
 		}
-		if s.rng.Float64()*m*q < target {
+		if s.Float64()*m*q < target {
 			return r
 		}
 	}
@@ -133,9 +217,9 @@ func (s *Stream) GeometricTrials(p float64) int {
 	if p == 1 {
 		return 1
 	}
-	u := s.rng.Float64()
+	u := s.Float64()
 	for u == 0 {
-		u = s.rng.Float64()
+		u = s.Float64()
 	}
 	return 1 + int(math.Floor(math.Log(u)/math.Log(1-p)))
 }
