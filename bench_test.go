@@ -171,8 +171,14 @@ func BenchmarkMonteCarloEstimate(b *testing.B) {
 // trial count grows: the engine aggregates through per-shard streaming
 // accumulators and never materializes an O(trials) result slice.
 // BENCH_sweep.json records the baseline.
+//
+// The small counts (1, 8, 64) are the dense-parameter-grid regime — an
+// antserve dashboard sweep is thousands of cells of this shape — and the one
+// the batched shard planner exists for; the large counts exercise the
+// per-trial steady state. Both are gated in CI: allocs/op against
+// max_allocs_per_op and ns/op against 1.25 × the recorded baseline.
 func BenchmarkSweepEngine(b *testing.B) {
-	for _, trials := range []int{64, 512, 4096} {
+	for _, trials := range []int{1, 8, 64, 512, 4096} {
 		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
 			ctx := context.Background()
 			factory := antsearch.KnownKFactory()

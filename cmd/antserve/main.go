@@ -5,8 +5,17 @@
 //
 // Usage:
 //
-//	antserve [-addr :8077] [-cache-size 4096] [-workers 0]
-//	         [-cell-workers 1] [-max-cells 10000]
+//	antserve [-addr :8077] [-cache-size 4096] [-adaptive]
+//	         [-workers 0] [-cell-workers 1] [-max-cells 10000]
+//	         [-debug-addr ""]
+//
+// By default (-adaptive=true) every /sweep request picks its own
+// parallelism split with scenario.AutoSplit: a grid of many small cells
+// routes the cores to cross-cell concurrency, a grid of few big cells
+// routes them to trial-level fan-out, exactly like antsweep -adaptive.
+// Results are bit-identical either way; -adaptive=false restores the fixed
+// -workers/-cell-workers split. -debug-addr exposes net/http/pprof on a
+// separate listener for live profiling (disabled when empty).
 //
 // Endpoints:
 //
@@ -36,7 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -debug-addr listener
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -61,9 +72,11 @@ func run(args []string, logw io.Writer) error {
 	var (
 		addr        = fs.String("addr", ":8077", "listen address")
 		cacheSize   = fs.Int("cache-size", cache.DefaultCapacity, "maximum cached cell results")
-		workers     = fs.Int("workers", 0, "trial-level worker goroutines per cell (0 = GOMAXPROCS)")
-		cellWorkers = fs.Int("cell-workers", 1, "cells computed concurrently per request (1 = sequential)")
+		adaptive    = fs.Bool("adaptive", true, "pick the cells-vs-trials split per request with AutoSplit (ignores -workers/-cell-workers)")
+		workers     = fs.Int("workers", 0, "trial-level worker goroutines per cell with -adaptive=false (0 = GOMAXPROCS)")
+		cellWorkers = fs.Int("cell-workers", 1, "cells computed concurrently per request with -adaptive=false (1 = sequential)")
 		maxCells    = fs.Int("max-cells", 10000, "largest grid a single /sweep may expand to")
+		debugAddr   = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +94,23 @@ func run(args []string, logw io.Writer) error {
 		return fmt.Errorf("-max-cells must be at least 1, got %d", *maxCells)
 	}
 
+	if *debugAddr != "" {
+		// The profiling endpoints live on their own listener so they can stay
+		// unexposed (bound to localhost) while -addr serves traffic. Listen
+		// synchronously so a bad address fails at startup, not on first use.
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		fmt.Fprintf(logw, "antserve: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			_ = http.Serve(ln, nil)
+		}()
+	}
+
 	srv := newServer(serverConfig{
+		Adaptive:    *adaptive,
 		Workers:     *workers,
 		CellWorkers: *cellWorkers,
 		CacheSize:   *cacheSize,
@@ -102,8 +131,12 @@ func run(args []string, logw io.Writer) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(logw, "antserve: listening on %s (cache %d entries, %d cell workers)\n",
-		*addr, *cacheSize, *cellWorkers)
+	splitMode := fmt.Sprintf("%d cell workers", *cellWorkers)
+	if *adaptive {
+		splitMode = "adaptive split"
+	}
+	fmt.Fprintf(logw, "antserve: listening on %s (cache %d entries, %s)\n",
+		*addr, *cacheSize, splitMode)
 
 	select {
 	case err := <-errc:
@@ -121,19 +154,31 @@ func run(args []string, logw io.Writer) error {
 
 // serverConfig carries the tunables of a server instance.
 type serverConfig struct {
-	Workers     int // trial-level goroutines per cell (0 = GOMAXPROCS)
-	CellWorkers int // cells computed concurrently per request (>= 1)
-	CacheSize   int // LRU bound of the result cache
-	MaxCells    int // largest grid a single request may expand to
+	Adaptive    bool // pick the per-request split with scenario.AutoSplit
+	Workers     int  // trial-level goroutines per cell (0 = GOMAXPROCS); fixed mode only
+	CellWorkers int  // cells computed concurrently per request (>= 1); fixed mode only
+	CacheSize   int  // LRU bound of the result cache
+	MaxCells    int  // largest grid a single request may expand to
+}
+
+// split returns the (cellWorkers, trialWorkers) pair for a request's cells:
+// the AutoSplit decision in adaptive mode, the configured fixed values
+// otherwise. Either choice only schedules work differently — cell results
+// are a pure function of the cell and its seed, so responses are identical
+// whatever the split (TestSweepAdaptiveParity).
+func (c serverConfig) split(cells []scenario.Cell) (cellWorkers, trialWorkers int) {
+	if c.Adaptive {
+		return scenario.AutoSplit(cells, 0)
+	}
+	return c.CellWorkers, c.Workers
 }
 
 // server wires the registry, the sweep runner and the result cache behind
 // the HTTP handlers.
 type server struct {
-	cfg    serverConfig
-	runner scenario.Runner
-	cache  *cache.Cache
-	start  time.Time
+	cfg   serverConfig
+	cache *cache.Cache
+	start time.Time
 
 	activeSweeps atomic.Int64
 	totalSweeps  atomic.Int64
@@ -147,10 +192,9 @@ func newServer(cfg serverConfig) *server {
 		cfg.MaxCells = 10000
 	}
 	return &server{
-		cfg:    cfg,
-		runner: scenario.Runner{Workers: cfg.Workers},
-		cache:  cache.New(cfg.CacheSize),
-		start:  time.Now(),
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheSize),
+		start: time.Now(),
 	}
 }
 
@@ -313,19 +357,24 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
 
-	// Stream the cells in order, computing up to CellWorkers of them
-	// concurrently per chunk. Identical cells — within this request or
-	// across concurrent requests — collapse in the cache, so N simultaneous
-	// identical sweeps run one simulation. Memory per request is bounded by
-	// the chunk, never by the grid.
-	for lo := 0; lo < len(cells); lo += s.cfg.CellWorkers {
-		hi := min(lo+s.cfg.CellWorkers, len(cells))
+	// Stream the cells in order, computing up to cellWorkers of them
+	// concurrently per chunk; in adaptive mode the request's own cells ×
+	// trials shape picks that chunk width and the per-cell trial fan-out
+	// (scenario.AutoSplit), so a dashboard grid of many small cells and a
+	// single million-trial cell both saturate the cores. Identical cells —
+	// within this request or across concurrent requests — collapse in the
+	// cache, so N simultaneous identical sweeps run one simulation. Memory
+	// per request is bounded by the chunk, never by the grid.
+	cellWorkers, trialWorkers := s.cfg.split(cells)
+	runner := scenario.Runner{Workers: trialWorkers}
+	for lo := 0; lo < len(cells); lo += cellWorkers {
+		hi := min(lo+cellWorkers, len(cells))
 		chunk := cells[lo:hi]
-		results, err := parallel.Map(ctx, len(chunk), s.cfg.CellWorkers, func(i int) (cellResult, error) {
+		results, err := parallel.Map(ctx, len(chunk), cellWorkers, func(i int) (cellResult, error) {
 			cell := chunk[i]
 			key := cache.CellKey(cell, grid.Params)
 			st, cached, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.TrialStats, error) {
-				return s.runner.RunOne(ctx, cell)
+				return runner.RunOne(ctx, cell)
 			})
 			if err != nil {
 				return cellResult{}, err

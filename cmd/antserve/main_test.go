@@ -304,6 +304,35 @@ func TestSweepCellWorkersParity(t *testing.T) {
 	}
 }
 
+// TestSweepAdaptiveParity pins the ROADMAP item: the streaming chunk loop
+// picks its split with scenario.AutoSplit in adaptive mode, and the rows are
+// byte-identical to both fixed configurations — scheduling is the only thing
+// adaptivity may change.
+func TestSweepAdaptiveParity(t *testing.T) {
+	t.Parallel()
+
+	body := `{"scenarios": ["known-k", "single-spiral"], "ks": [1, 2], "ds": [4, 6],
+	          "trials": 5, "seed": 11}`
+	adaptive := newTestServer(t, serverConfig{CacheSize: 64, Adaptive: true})
+	cellFanned := newTestServer(t, serverConfig{CacheSize: 64, CellWorkers: 4})
+	trialFanned := newTestServer(t, serverConfig{CacheSize: 64, CellWorkers: 1, Workers: 4})
+
+	a := decodeRows(t, postSweep(t, adaptive.URL, body))
+	b := decodeRows(t, postSweep(t, cellFanned.URL, body))
+	c := decodeRows(t, postSweep(t, trialFanned.URL, body))
+	if len(a) != 8 || len(b) != 8 || len(c) != 8 {
+		t.Fatalf("row counts %d, %d and %d, want 8", len(a), len(b), len(c))
+	}
+	for i := range a {
+		ja, _ := json.Marshal(a[i].Stats)
+		jb, _ := json.Marshal(b[i].Stats)
+		jc, _ := json.Marshal(c[i].Stats)
+		if !bytes.Equal(ja, jb) || !bytes.Equal(ja, jc) {
+			t.Errorf("row %d differs between adaptive and fixed splits:\n%s\nvs\n%s\nvs\n%s", i, ja, jb, jc)
+		}
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	t.Parallel()
 

@@ -8,10 +8,13 @@
 //
 //	antsweep -algs known-k,uniform -k 1,4,16,64 -d 32,128 -trials 50
 //	         [-eps 0.5] [-delta 0.5] [-seed 1] [-format ascii] [-max-time N]
+//	         [-cpuprofile sweep.pprof] [-memprofile heap.pprof]
 //
 // The -algs names come from the scenario registry; -list enumerates them.
 // Trials run through the streaming sweep engine, so arbitrarily large
-// -trials values execute in constant memory.
+// -trials values execute in constant memory. -cpuprofile and -memprofile
+// write pprof profiles of the sweep (the whole run, flags included), so the
+// hot path can be profiled on any real workload without patching the source.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -52,9 +57,37 @@ func run(args []string, out io.Writer) error {
 		workers  = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
 		adaptive = fs.Bool("adaptive", false, "auto-split cores between cells and trials (ignores -workers)")
 		list     = fs.Bool("list", false, "list the registered scenarios and exit")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		// Written on every return path, successful or not, so a sweep
+		// interrupted by a late error still leaves a usable profile.
+		defer func() {
+			defer f.Close()
+			runtime.GC() // settle live-object accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "antsweep: -memprofile:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, name := range antsearch.Scenarios() {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"antsearch/internal/adversary"
@@ -149,6 +150,17 @@ func NewTrialAccumulator(numAgents, distance int) *TrialAccumulator {
 	}
 }
 
+// DisableReplay stops the accumulator's Welford halves from recording replay
+// logs. runShard calls it for shards that exceed stats.MergeReplayCap trials
+// — only possible beyond the planner's replay-exact window — where the logs
+// would go incomplete and never be replayed. Must be called before the first
+// Add.
+func (a *TrialAccumulator) DisableReplay() {
+	a.time.DisableReplay()
+	a.allTime.DisableReplay()
+	a.ratio.DisableReplay()
+}
+
 // Add incorporates one trial result.
 func (a *TrialAccumulator) Add(r Result) {
 	a.trials++
@@ -170,10 +182,15 @@ func (a *TrialAccumulator) Add(r Result) {
 	a.times.Add(float64(r.Time))
 }
 
-// Merge folds another accumulator into a. Merging shard accumulators in shard
-// order reproduces sequential accumulation exactly for counts, min and max,
-// bit-identically for means and variances when every shard holds a single
-// trial, and within floating-point merge error otherwise.
+// Merge folds another accumulator into a. Merging shard accumulators in
+// shard order reproduces sequential accumulation exactly for counts, min and
+// max at any scale, and bit-identically for means, variances and quantile
+// state whenever every merged-in shard holds at most stats.MergeReplayCap
+// trials (the planner's guarantee): within that window the underlying
+// accumulators and sketches replay their observations in trial order, so the
+// result depends only on the trial sequence, never on where it was cut.
+// Oversized shards fall back to the summary-formula merge, which stays
+// deterministic but partition-dependent in the last bits.
 func (a *TrialAccumulator) Merge(b *TrialAccumulator) {
 	a.trials += b.trials
 	a.found += b.found
@@ -202,28 +219,74 @@ func (a *TrialAccumulator) Stats() TrialStats {
 }
 
 // maxShards bounds the number of trial shards a Monte-Carlo run is split
-// into. Up to maxShards trials every shard holds exactly one trial, so the
-// deterministic shard merge replays sequential aggregation bit-for-bit;
-// beyond it trials are batched into at most maxShards contiguous ranges, so
-// memory stays constant no matter how many trials run.
+// into, so the number of in-flight shard accumulators — and with it the
+// memory of a run — stays constant no matter how many trials execute.
 const maxShards = 1024
 
+// minShardTrials is the smallest batch of trials worth scheduling as an
+// independent shard: below it the per-shard fixed costs (accumulator
+// construction, engine pool round-trip, task claim) dominate the trials
+// themselves.
+const minShardTrials = 8
+
 // shardRange returns the half-open trial range [lo, hi) of shard s when
-// trials are split into numShards contiguous, near-equal shards. The
-// partition depends only on the trial count, never on the worker count, so
-// aggregation is deterministic and machine-independent.
+// trials are split into numShards contiguous, near-equal shards.
 func shardRange(trials, numShards, s int) (lo, hi int) {
 	lo = s * trials / numShards
 	hi = (s + 1) * trials / numShards
 	return lo, hi
 }
 
-// numShards returns the shard count for a trial count.
-func numShards(trials int) int {
-	if trials < maxShards {
-		return trials
+// planShards is the shard planner: it returns the number of contiguous,
+// near-equal shards a trial range is split into, batching roughly
+// trials/workers trials per shard with a minimum batch of minShardTrials.
+//
+// Every shard it plans holds at most stats.MergeReplayCap trials, which is
+// what makes the worker count safe to consult: within that bound the shard
+// accumulators and sketches merge by ordered replay (see stats.Accumulator),
+// so the aggregate is a pure function of the per-trial results in trial order
+// and the partition is unobservable — proven by TestTrialStatsPartitionInvariance
+// and TestStreamingShardInvariance. Beyond maxShards * stats.MergeReplayCap
+// trials (2^20) a bounded shard count forces shards past the replay window,
+// the merge degrades to the summary formulas, and partition shape would show
+// up in the last bits of the aggregates; there the planner pins the historical
+// fixed maxShards partition, which depends only on the trial count, keeping
+// results machine- and worker-independent at every scale.
+func planShards(trials, workers int) int {
+	if trials <= minShardTrials {
+		return 1
 	}
-	return maxShards
+	if trials > maxShards*stats.MergeReplayCap {
+		return maxShards
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	batch := (trials + workers - 1) / workers
+	if batch < minShardTrials {
+		batch = minShardTrials
+	}
+	if batch > stats.MergeReplayCap {
+		batch = stats.MergeReplayCap
+	}
+	// Floor division so every shard holds at least `batch` trials — rounding
+	// the shard count up instead would cut shards below the minimum batch
+	// (e.g. 12 trials over 4 workers: batch 8, two shards of 6).
+	shards := trials / batch
+	if shards < 1 {
+		shards = 1
+	}
+	// Flooring can push the largest shard past the replay window when batch
+	// already sits at the cap (5000 trials, 1 worker: 4 shards of up to
+	// 1250); the cap is a hard bound — it is what keeps the merge
+	// order-preserving — so split further until every shard fits.
+	if (trials+shards-1)/shards > stats.MergeReplayCap {
+		shards = (trials + stats.MergeReplayCap - 1) / stats.MergeReplayCap
+	}
+	return shards
 }
 
 // runTrial executes one trial of the configuration. Per-trial randomness is
@@ -244,11 +307,9 @@ func runTrial(cfg TrialConfig, alg agent.Algorithm, trial int) (Result, error) {
 }
 
 // enginePool recycles engines — their agent slots, heap storage and, through
-// agent.SearcherReuser, their searchers — across shards and across cells.
-// Below maxShards trials every shard holds a single trial, so without the
-// pool small cells would rebuild the whole engine per trial; with it, steady
-// state serves every shard of every concurrent sweep from a handful of
-// engines per worker goroutine. Engines carry no results, only scratch
+// agent.SearcherReuser, their searchers — across shards and across cells, so
+// steady state serves every shard of every concurrent sweep from a handful
+// of engines per worker goroutine. Engines carry no results, only scratch
 // state, and reset re-derives everything from (seed, trial), so reuse cannot
 // leak state between trials.
 var enginePool = sync.Pool{New: func() any { return new(engine) }}
@@ -263,10 +324,19 @@ var enginePool = sync.Pool{New: func() any { return new(engine) }}
 // so the per-trial results are independent of the sharding.
 func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi int) (*TrialAccumulator, error) {
 	acc := NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
+	if hi-lo > stats.MergeReplayCap {
+		// An oversized shard (only planned beyond the replay-exact window)
+		// can never be merged by replay; skip recording logs that would go
+		// incomplete anyway.
+		acc.DisableReplay()
+	}
 	e := enginePool.Get().(*engine)
 	defer enginePool.Put(e)
 	inst := Instance{Algorithm: alg, NumAgents: cfg.NumAgents}
 	opts := Options{MaxTime: cfg.MaxTime}
+	// One type assertion per shard, not per trial: reset receives the hoisted
+	// reuser for every trial in the range.
+	reuser, _ := alg.(agent.SearcherReuser)
 	for trial := lo; trial < hi; trial++ {
 		if err := ctx.Err(); err != nil {
 			// Batched shards run many trials per task; observe cancellation
@@ -276,7 +346,7 @@ func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi 
 		e.placeRNG.Reset(cfg.Seed, 0xad5e, uint64(trial))
 		inst.Treasure = cfg.Adversary.Place(trial, &e.placeRNG)
 		opts.Seed = xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial))
-		r, err := e.run(inst, opts, advanceAnalytic)
+		r, err := e.runAnalytic(inst, opts, reuser)
 		if err != nil {
 			return nil, err
 		}
@@ -285,12 +355,17 @@ func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi 
 	return acc, nil
 }
 
-// MonteCarlo runs the configured number of independent trials, fanning them
-// out over goroutines, and aggregates the results with per-shard streaming
-// accumulators merged in shard order. The aggregation is deterministic: it
-// depends only on the seed and the configuration, not on scheduling or the
-// number of workers. Memory stays bounded by the sketch cap — no per-trial
-// slice is ever materialized — so million-trial sweeps run in constant space.
+// MonteCarlo runs the configured number of independent trials, batched into
+// contiguous shards by planShards, fanned out over goroutines, and aggregated
+// with per-shard streaming accumulators merged in shard order. The
+// aggregation is deterministic: per-trial randomness derives from
+// (seed, trial) alone, and while every shard fits the replay window
+// (trials <= maxShards * stats.MergeReplayCap) the ordered replay merge makes
+// the aggregate a pure function of the per-trial results in trial order —
+// identical bit for bit whatever the worker count or shard plan. Beyond that
+// window the partition is fixed by the trial count, so results remain
+// machine-independent. Memory stays bounded by the shard plan and the sketch
+// cap — no per-trial slice is ever materialized.
 func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return TrialStats{}, err
@@ -300,7 +375,7 @@ func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 		return TrialStats{}, errors.New("sim: factory returned a nil algorithm")
 	}
 
-	shards := numShards(cfg.Trials)
+	shards := planShards(cfg.Trials, cfg.Workers)
 	accs, err := parallel.Map(ctx, shards, cfg.Workers, func(s int) (*TrialAccumulator, error) {
 		lo, hi := shardRange(cfg.Trials, shards, s)
 		return runShard(ctx, cfg, alg, lo, hi)

@@ -1,0 +1,133 @@
+package sim
+
+// Property test for the order-preserving shard merge at the TrialStats level:
+// ANY partition of a trial sequence into contiguous shards of at most
+// stats.MergeReplayCap trials, accumulated per shard and merged in shard
+// order, must produce TrialStats bit-identical to the sequential fold over
+// the same per-trial results — counts, means, variances, extremes and the
+// full quantile-sketch state. This is the property that frees the shard
+// planner to consult the worker count: the partition cannot show up in the
+// output.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"antsearch/internal/adversary"
+	"antsearch/internal/core"
+	"antsearch/internal/stats"
+)
+
+func TestTrialStatsPartitionInvariance(t *testing.T) {
+	t.Parallel()
+
+	ring, err := adversary.NewUniformRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for _, trials := range []int{1, 2, 9, 64, 257, 1500} {
+		cfg := TrialConfig{
+			Factory:   core.Factory(),
+			NumAgents: 3,
+			Adversary: ring,
+			Trials:    trials,
+			Seed:      uint64(77 + trials),
+			MaxTime:   4000,
+		}
+		results, err := MonteCarloResults(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		seq := NewTrialAccumulator(cfg.NumAgents, ring.Distance())
+		for _, r := range results {
+			seq.Add(r)
+		}
+		want := seq.Stats()
+
+		// The engine's own plan must land on the same bits as the sequential
+		// fold, whatever planShards chose for this machine.
+		st, err := MonteCarlo(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(st, want) {
+			t.Errorf("trials=%d: MonteCarlo differs from sequential fold:\n got %+v\nwant %+v",
+				trials, st, want)
+		}
+
+		// Random contiguous partitions with shards inside the replay window.
+		for round := 0; round < 25; round++ {
+			merged := NewTrialAccumulator(cfg.NumAgents, ring.Distance())
+			for lo := 0; lo < trials; {
+				hi := lo + 1 + rng.Intn(stats.MergeReplayCap)
+				if hi > trials {
+					hi = trials
+				}
+				shard := NewTrialAccumulator(cfg.NumAgents, ring.Distance())
+				for _, r := range results[lo:hi] {
+					shard.Add(r)
+				}
+				merged.Merge(shard)
+				lo = hi
+			}
+			if !reflect.DeepEqual(merged.Stats(), want) {
+				t.Errorf("trials=%d round=%d: partitioned merge differs from sequential fold:\n got %+v\nwant %+v",
+					trials, round, merged.Stats(), want)
+			}
+		}
+	}
+}
+
+// TestPlanShardsInvariants pins the planner's contract over a spread of
+// (trials, workers) shapes: at least one shard; within the replay-exact
+// window no shard ever exceeds stats.MergeReplayCap trials (the hard bound
+// that keeps the merge order-preserving) and none dips below the minimum
+// batch; beyond the window the partition is fixed regardless of workers.
+func TestPlanShardsInvariants(t *testing.T) {
+	t.Parallel()
+
+	workersList := []int{0, 1, 2, 3, 4, 8, 32, 256}
+	for _, trials := range []int{1, 7, 8, 9, 12, 63, 64, 100, 1023, 1024, 1025, 5000, 100000, maxShards * stats.MergeReplayCap} {
+		for _, workers := range workersList {
+			shards := planShards(trials, workers)
+			if shards < 1 {
+				t.Fatalf("trials=%d workers=%d: %d shards", trials, workers, shards)
+			}
+			maxSize, minSize := 0, trials+1
+			for s := 0; s < shards; s++ {
+				lo, hi := shardRange(trials, shards, s)
+				if size := hi - lo; size > 0 {
+					if size > maxSize {
+						maxSize = size
+					}
+					if size < minSize {
+						minSize = size
+					}
+				}
+			}
+			if maxSize > stats.MergeReplayCap {
+				t.Errorf("trials=%d workers=%d: shard of %d trials exceeds the replay window %d",
+					trials, workers, maxSize, stats.MergeReplayCap)
+			}
+			wantMin := minShardTrials
+			if trials < wantMin {
+				wantMin = trials
+			}
+			if minSize < wantMin {
+				t.Errorf("trials=%d workers=%d: shard of %d trials is below the minimum batch %d",
+					trials, workers, minSize, wantMin)
+			}
+		}
+	}
+	beyond := maxShards*stats.MergeReplayCap + 1
+	for _, workers := range workersList {
+		if got := planShards(beyond, workers); got != maxShards {
+			t.Errorf("beyond the replay window: planShards(%d, %d) = %d, want the fixed %d",
+				beyond, workers, got, maxShards)
+		}
+	}
+}

@@ -225,8 +225,11 @@ func (e *engine) fixTop() { e.siftDown(0) }
 // breaks ties by index, so the identity ordering is the correct initial heap.
 // Algorithms that implement agent.SearcherReuser get their previous trial's
 // searcher back to reset in place, which makes a whole shard of trials run
-// without a single engine-level allocation after the first trial.
-func (e *engine) reset(in Instance, opts Options) {
+// without a single engine-level allocation after the first trial. The reuser
+// is the caller's hoisted view of in.Algorithm (nil when the algorithm does
+// not implement the interface): runShard derives it once per shard, so reset
+// does not repeat the type assertion on every trial.
+func (e *engine) reset(in Instance, opts Options, reuser agent.SearcherReuser) {
 	if cap(e.agents) < in.NumAgents {
 		// A fresh slice leaves every searcher nil, so the reuse path below
 		// cannot hand an algorithm a searcher whose stream pointer refers to
@@ -236,7 +239,6 @@ func (e *engine) reset(in Instance, opts Options) {
 	}
 	e.agents = e.agents[:in.NumAgents]
 	e.heap = e.heap[:in.NumAgents]
-	reuser, _ := in.Algorithm.(agent.SearcherReuser)
 	for a := range e.agents {
 		st := &e.agents[a]
 		st.idx = a
@@ -267,7 +269,8 @@ type stepOutcome struct {
 // first-hit result.
 func Run(in Instance, opts Options) (Result, error) {
 	var e engine
-	return e.run(in, opts, advanceAnalytic)
+	reuser, _ := in.Algorithm.(agent.SearcherReuser)
+	return e.runAnalytic(in, opts, reuser)
 }
 
 // RunExact simulates the instance cell by cell. If visit is non-nil it is
@@ -283,30 +286,89 @@ func RunExact(in Instance, opts Options, visit func(agentIdx, t int, p grid.Poin
 		}
 	}
 	var e engine
-	return e.run(in, opts, func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
+	reuser, _ := in.Algorithm.(agent.SearcherReuser)
+	return e.run(in, opts, reuser, func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
 		return advanceExact(st, treasure, budget, visit)
 	})
 }
 
-// advanceFunc advances one agent by one segment, observing the exclusive time
-// budget (no times >= budget may be reported as hits).
-type advanceFunc func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error)
-
-// run is the engine loop shared by Run, RunExact and runShard.
-func (e *engine) run(in Instance, opts Options, advance advanceFunc) (Result, error) {
-	if err := in.Validate(); err != nil {
-		return Result{}, err
-	}
-	timeCap := opts.maxTime()
-	res := Result{
+// initialResult seeds the Result for a run: capped at timeCap until some
+// agent finds the treasure.
+func initialResult(in Instance, timeCap int) Result {
+	return Result{
 		Finder:     -1,
 		Time:       timeCap,
 		Capped:     true,
 		Distance:   in.Treasure.L1(),
 		LowerBound: lowerBound(in.Treasure.L1(), in.NumAgents),
 	}
+}
 
-	e.reset(in, opts)
+// advanceFunc advances one agent by one segment, observing the exclusive time
+// budget (no times >= budget may be reported as hits).
+type advanceFunc func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error)
+
+// runAnalytic is the monomorphic analytic-engine loop used by Run and
+// runShard: it advances agents through (*agentState).advanceAnalytic by
+// direct call, so the per-segment step costs no function-pointer indirection
+// and the compiler is free to keep the loop state in registers. The body
+// mirrors run below — any semantic change must land in both.
+func (e *engine) runAnalytic(in Instance, opts Options, reuser agent.SearcherReuser) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	timeCap := opts.maxTime()
+	res := initialResult(in, timeCap)
+
+	e.reset(in, opts, reuser)
+	best := timeCap
+	for len(e.heap) > 0 {
+		st := &e.agents[e.heap[0]]
+		if st.elapsed >= best {
+			// Every remaining agent is already past the best hit time (or
+			// the cap); nothing can improve the answer.
+			break
+		}
+		before := st.elapsed
+		outcome, err := st.advanceAnalytic(in.Treasure, best)
+		if err != nil {
+			return Result{}, fmt.Errorf("agent %d: %w", st.idx, err)
+		}
+		if st.elapsed == before && outcome.hit < 0 && !outcome.finished {
+			st.zeroStreak++
+			if st.zeroStreak > maxZeroStreak {
+				return Result{}, fmt.Errorf("agent %d: %w", st.idx, ErrNoProgress)
+			}
+		} else {
+			st.zeroStreak = 0
+		}
+		if outcome.hit >= 0 && (outcome.hit < best || (outcome.hit == best && !res.Found)) {
+			best = outcome.hit
+			res.Found = true
+			res.Capped = false
+			res.Finder = st.idx
+			res.Time = outcome.hit
+		}
+		if outcome.finished || outcome.hit >= 0 || st.elapsed >= best {
+			e.popTop()
+			continue
+		}
+		e.fixTop()
+	}
+	return res, nil
+}
+
+// run is the generic engine loop, kept for RunExact and other visitor-style
+// advances; the analytic hot path uses the specialized runAnalytic instead.
+// The body mirrors runAnalytic — any semantic change must land in both.
+func (e *engine) run(in Instance, opts Options, reuser agent.SearcherReuser, advance advanceFunc) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	timeCap := opts.maxTime()
+	res := initialResult(in, timeCap)
+
+	e.reset(in, opts, reuser)
 	best := timeCap
 	for len(e.heap) > 0 {
 		st := &e.agents[e.heap[0]]
@@ -344,18 +406,23 @@ func (e *engine) run(in Instance, opts Options, advance advanceFunc) (Result, er
 	return res, nil
 }
 
-// advanceAnalytic advances one agent by one segment using the segments'
-// closed-form hit queries.
-func advanceAnalytic(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
+// advanceAnalytic advances the agent by one segment using the segment's
+// closed-form queries, fused into a single kind dispatch (trajectory.Seg.Scan)
+// so the step performs one switch per segment instead of four. It is the
+// statically dispatched body of the analytic hot path; the semantics are
+// identical to the historical free function that ran behind the advanceFunc
+// pointer.
+func (st *agentState) advanceAnalytic(treasure grid.Point, budget int) (stepOutcome, error) {
 	seg, ok := st.searcher.NextSegment()
 	if !ok {
 		return stepOutcome{hit: -1, finished: true}, nil
 	}
-	if seg.Start() != st.pos {
+	start, end, duration, off, found := seg.Scan(treasure)
+	if start != st.pos {
 		return stepOutcome{}, fmt.Errorf("%w: segment %v starts at %v, agent is at %v",
-			ErrDiscontinuousTrajectory, seg, seg.Start(), st.pos)
+			ErrDiscontinuousTrajectory, seg, start, st.pos)
 	}
-	if off, found := seg.HitTime(treasure); found {
+	if found {
 		if t := st.elapsed + off; t < budget {
 			return stepOutcome{hit: t}, nil
 		}
@@ -364,15 +431,14 @@ func advanceAnalytic(st *agentState, treasure grid.Point, budget int) (stepOutco
 		st.elapsed = budget
 		return stepOutcome{hit: -1}, nil
 	}
-	if d := seg.Duration(); d > budget-st.elapsed {
+	if duration > budget-st.elapsed {
 		// The segment alone overshoots the budget; saturate rather than
 		// overflow the elapsed counter.
 		st.elapsed = budget
 		return stepOutcome{hit: -1}, nil
-	} else {
-		st.elapsed += d
 	}
-	st.pos = seg.End()
+	st.elapsed += duration
+	st.pos = end
 	return stepOutcome{hit: -1}, nil
 }
 

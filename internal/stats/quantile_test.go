@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -221,7 +222,7 @@ func TestAccumulatorMergeMatchesSequential(t *testing.T) {
 		one.Add(x)
 		single.Merge(one)
 	}
-	if single != seq {
+	if !reflect.DeepEqual(single, seq) {
 		t.Errorf("singleton merge differs from sequential:\n%+v\n%+v", single, seq)
 	}
 
@@ -248,12 +249,12 @@ func TestAccumulatorMergeMatchesSequential(t *testing.T) {
 	// Merging into an empty accumulator copies.
 	var empty Accumulator
 	empty.Merge(seq)
-	if empty != seq {
+	if !reflect.DeepEqual(empty, seq) {
 		t.Error("merging into an empty accumulator should copy")
 	}
 	before := seq
 	seq.Merge(Accumulator{})
-	if seq != before {
+	if !reflect.DeepEqual(seq, before) {
 		t.Error("merging an empty accumulator should be a no-op")
 	}
 }

@@ -159,6 +159,28 @@ func (s Seg) HitTime(target grid.Point) (int, bool) {
 	}
 }
 
+// Scan answers, in a single dispatch on the segment's kind, every query the
+// analytic engine makes of a segment: where it starts and ends, how long it
+// lasts, and whether — and at which offset from the segment start — it first
+// visits target. It is exactly equivalent to calling Start, End, Duration and
+// HitTime separately; the fused form exists for the simulation hot loop,
+// which would otherwise pay four kind switches (and, for spirals, two
+// SpiralOffset evaluations) per segment.
+func (s Seg) Scan(target grid.Point) (start, end grid.Point, duration, hitOff int, hit bool) {
+	switch s.kind {
+	case KindWalk:
+		hitOff, hit = grid.PathHitTime(s.a, s.b, target)
+		return s.a, s.b, s.n, hitOff, hit
+	case KindSpiral:
+		if idx := grid.SpiralIndex(target.Sub(s.a)); idx >= s.n && idx <= s.m {
+			hitOff, hit = idx-s.n, true
+		}
+		return s.a.Add(grid.SpiralOffset(s.n)), s.b, s.m - s.n, hitOff, hit
+	default: // KindPause
+		return s.a, s.a, s.n, 0, target == s.a
+	}
+}
+
 // At implements Segment.
 func (s Seg) At(t int) grid.Point {
 	if t < 0 || t > s.Duration() {

@@ -136,3 +136,53 @@ func TestSegPanicsMatchConstructors(t *testing.T) {
 		t.Errorf("negative pause clamps to duration 0, got %d", d)
 	}
 }
+
+// TestSegScanMatchesQueries pins the fused Scan query against the four
+// individual queries it replaces across all kinds, random shapes and a spread
+// of targets (on-segment, off-segment, start, end). The engine's monomorphic
+// loop trusts this equivalence.
+func TestSegScanMatchesQueries(t *testing.T) {
+	t.Parallel()
+
+	check := func(name string, s Seg, target grid.Point) {
+		t.Helper()
+		start, end, duration, hitOff, hit := s.Scan(target)
+		if start != s.Start() {
+			t.Errorf("%s: Scan start %v, Start() %v", name, start, s.Start())
+		}
+		if end != s.End() {
+			t.Errorf("%s: Scan end %v, End() %v", name, end, s.End())
+		}
+		if duration != s.Duration() {
+			t.Errorf("%s: Scan duration %d, Duration() %d", name, duration, s.Duration())
+		}
+		refOff, refHit := s.HitTime(target)
+		if hit != refHit || (hit && hitOff != refOff) {
+			t.Errorf("%s: Scan hit (%d, %v), HitTime (%d, %v)", name, hitOff, hit, refOff, refHit)
+		}
+	}
+
+	err := quick.Check(func(ax, ay, bx, by int8, steps uint8, from uint8, tx, ty int8) bool {
+		a := grid.Point{X: int(ax), Y: int(ay)}
+		b := grid.Point{X: int(bx), Y: int(by)}
+		target := grid.Point{X: int(tx), Y: int(ty)}
+		fromStep := int(from) % (int(steps) + 1)
+		segs := []struct {
+			name string
+			s    Seg
+		}{
+			{"walk", WalkSeg(a, b)},
+			{"spiral", SpiralSeg(a, fromStep, int(steps))},
+			{"pause", PauseSeg(a, int(steps))},
+		}
+		for _, c := range segs {
+			for _, tgt := range []grid.Point{target, c.s.Start(), c.s.End(), a, b} {
+				check(c.name, c.s, tgt)
+			}
+		}
+		return !t.Failed()
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
