@@ -7,7 +7,7 @@
 //
 //	antserve [-addr :8077] [-cache-size 4096] [-adaptive]
 //	         [-workers 0] [-cell-workers 1] [-max-cells 10000]
-//	         [-debug-addr ""]
+//	         [-store-dir ""] [-snapshot-interval 5m] [-debug-addr ""]
 //
 // By default (-adaptive=true) every /sweep request picks its own
 // parallelism split with scenario.AutoSplit: a grid of many small cells
@@ -16,6 +16,16 @@
 // Results are bit-identical either way; -adaptive=false restores the fixed
 // -workers/-cell-workers split. -debug-addr exposes net/http/pprof on a
 // separate listener for live profiling (disabled when empty).
+//
+// -store-dir makes the result cache durable: every computed cell is
+// appended to an NDJSON log under the directory, the cache is compacted
+// into a snapshot every -snapshot-interval (0 disables the timer) and on
+// graceful shutdown, and the next boot warm-starts from it — a redeploy
+// serves previously computed sweeps with "cached": true without re-running
+// a single trial. Safe because results are a pure function of the cell
+// configuration and seed; entries written under an older schema version are
+// skipped, never misread. /stats reports loaded/persisted/store_errors
+// counters alongside the cache hit/miss ones.
 //
 // Endpoints:
 //
@@ -41,7 +51,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -70,19 +79,27 @@ func main() {
 func run(args []string, logw io.Writer) error {
 	fs := flag.NewFlagSet("antserve", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", ":8077", "listen address")
-		cacheSize   = fs.Int("cache-size", cache.DefaultCapacity, "maximum cached cell results")
-		adaptive    = fs.Bool("adaptive", true, "pick the cells-vs-trials split per request with AutoSplit (ignores -workers/-cell-workers)")
-		workers     = fs.Int("workers", 0, "trial-level worker goroutines per cell with -adaptive=false (0 = GOMAXPROCS)")
-		cellWorkers = fs.Int("cell-workers", 1, "cells computed concurrently per request with -adaptive=false (1 = sequential)")
-		maxCells    = fs.Int("max-cells", 10000, "largest grid a single /sweep may expand to")
-		debugAddr   = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
+		addr         = fs.String("addr", ":8077", "listen address")
+		cacheSize    = fs.Int("cache-size", cache.DefaultCapacity, "maximum cached cell results")
+		adaptive     = fs.Bool("adaptive", true, "pick the cells-vs-trials split per request with AutoSplit (ignores -workers/-cell-workers)")
+		workers      = fs.Int("workers", 0, "trial-level worker goroutines per cell with -adaptive=false (0 = GOMAXPROCS)")
+		cellWorkers  = fs.Int("cell-workers", 1, "cells computed concurrently per request with -adaptive=false (1 = sequential)")
+		maxCells     = fs.Int("max-cells", 10000, "largest grid a single /sweep may expand to")
+		storeDir     = fs.String("store-dir", "", "directory for the durable result store (empty = memory-only cache)")
+		snapInterval = fs.Duration("snapshot-interval", 5*time.Minute, "how often to compact the store (0 = only on shutdown; needs -store-dir)")
+		debugAddr    = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *cacheSize < 1 {
 		return fmt.Errorf("-cache-size must be at least 1, got %d", *cacheSize)
+	}
+	if *snapInterval < 0 {
+		return fmt.Errorf("-snapshot-interval must be >= 0 (0 = only on shutdown), got %v", *snapInterval)
+	}
+	if *snapInterval > 0 && *storeDir == "" && snapIntervalSet(fs) {
+		return fmt.Errorf("-snapshot-interval needs -store-dir")
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
@@ -109,13 +126,35 @@ func run(args []string, logw io.Writer) error {
 		}()
 	}
 
-	srv := newServer(serverConfig{
+	cfg := serverConfig{
 		Adaptive:    *adaptive,
 		Workers:     *workers,
 		CellWorkers: *cellWorkers,
 		CacheSize:   *cacheSize,
 		MaxCells:    *maxCells,
-	})
+	}
+	var diskStore *cache.DiskStore
+	if *storeDir != "" {
+		store, err := cache.OpenDiskStore(*storeDir)
+		if err != nil {
+			return fmt.Errorf("-store-dir: %w", err)
+		}
+		diskStore = store
+		cfg.Store = store
+	}
+	srv, err := newServer(cfg)
+	if err != nil {
+		return fmt.Errorf("warm-starting the cache: %w", err)
+	}
+	if diskStore != nil {
+		fmt.Fprintf(logw, "antserve: durable store at %s (%d entries loaded)\n",
+			*storeDir, srv.cache.Stats().Loaded)
+		if skipped := diskStore.Skipped(); skipped > 0 {
+			// A quietly shrinking store must be loud: every skipped record is
+			// either corruption or a schema change, and both mean recomputation.
+			fmt.Fprintf(logw, "antserve: store skipped %d unreadable or foreign-schema records\n", skipped)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -128,6 +167,27 @@ func run(args []string, logw io.Writer) error {
 	// trial fan-out inside parallel.ForEach.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if cfg.Store != nil && *snapInterval > 0 {
+		// Periodic compaction bounds how much of the store lives in the
+		// append log (replayed line-by-line on boot) versus the snapshot,
+		// and bounds data loss on a crash-without-shutdown to one interval
+		// of evictions (appended entries are already on disk).
+		go func() {
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := srv.cache.Snapshot(); err != nil {
+						fmt.Fprintf(logw, "antserve: snapshot failed: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -146,19 +206,43 @@ func run(args []string, logw io.Writer) error {
 	fmt.Fprintln(logw, "antserve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return httpSrv.Close()
+	err = httpSrv.Shutdown(shutdownCtx)
+	if err != nil {
+		err = httpSrv.Close()
 	}
-	return nil
+	// Final compaction: the store must hold exactly the cache state the
+	// process shuts down with, so the next boot warm-starts it all.
+	if cerr := srv.cache.Close(); cerr != nil {
+		fmt.Fprintf(logw, "antserve: closing store: %v\n", cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// snapIntervalSet reports whether -snapshot-interval was given explicitly on
+// the command line (as opposed to carrying its default), so a value without
+// -store-dir can be rejected as a misconfiguration while the default stays
+// harmless.
+func snapIntervalSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "snapshot-interval" {
+			set = true
+		}
+	})
+	return set
 }
 
 // serverConfig carries the tunables of a server instance.
 type serverConfig struct {
-	Adaptive    bool // pick the per-request split with scenario.AutoSplit
-	Workers     int  // trial-level goroutines per cell (0 = GOMAXPROCS); fixed mode only
-	CellWorkers int  // cells computed concurrently per request (>= 1); fixed mode only
-	CacheSize   int  // LRU bound of the result cache
-	MaxCells    int  // largest grid a single request may expand to
+	Adaptive    bool        // pick the per-request split with scenario.AutoSplit
+	Workers     int         // trial-level goroutines per cell (0 = GOMAXPROCS); fixed mode only
+	CellWorkers int         // cells computed concurrently per request (>= 1); fixed mode only
+	CacheSize   int         // LRU bound of the result cache
+	MaxCells    int         // largest grid a single request may expand to
+	Store       cache.Store // durable backing for the result cache (nil = memory-only)
 }
 
 // split returns the (cellWorkers, trialWorkers) pair for a request's cells:
@@ -184,18 +268,22 @@ type server struct {
 	totalSweeps  atomic.Int64
 }
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.CellWorkers < 1 {
 		cfg.CellWorkers = 1
 	}
 	if cfg.MaxCells < 1 {
 		cfg.MaxCells = 10000
 	}
+	c, err := cache.NewWithStore(cfg.CacheSize, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
 	return &server{
 		cfg:   cfg,
-		cache: cache.New(cfg.CacheSize),
+		cache: c,
 		start: time.Now(),
-	}
+	}, nil
 }
 
 // routes builds the HTTP mux.
@@ -308,13 +396,18 @@ func (r sweepRequest) grid() scenario.Grid {
 // sweepRow is one NDJSON response line: the cell coordinates, whether the
 // result came from the cache, and the full aggregate. A row with a non-empty
 // Error field terminates the stream.
+// The coordinate fields deliberately have no omitempty: a legitimate zero
+// value (seed 0 above all, but any zero-valued coordinate) must appear
+// explicitly in every row, or clients that re-key results by coordinates see
+// ambiguous rows. Only Stats and Error — which genuinely distinguish result
+// rows from the terminating error row — are elided when absent.
 type sweepRow struct {
 	Index    int             `json:"index"`
-	Scenario string          `json:"scenario,omitempty"`
-	K        int             `json:"k,omitempty"`
-	D        int             `json:"d,omitempty"`
-	Trials   int             `json:"trials,omitempty"`
-	Seed     uint64          `json:"seed,omitempty"`
+	Scenario string          `json:"scenario"`
+	K        int             `json:"k"`
+	D        int             `json:"d"`
+	Trials   int             `json:"trials"`
+	Seed     uint64          `json:"seed"`
 	Cached   bool            `json:"cached"`
 	Stats    *sim.TrialStats `json:"stats,omitempty"`
 	Error    string          `json:"error,omitempty"`
@@ -327,10 +420,6 @@ type cellResult struct {
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.activeSweeps.Add(1)
-	s.totalSweeps.Add(1)
-	defer s.activeSweeps.Add(-1)
-
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var req sweepRequest
@@ -350,6 +439,12 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			len(cells), s.cfg.MaxCells)
 		return
 	}
+
+	// Count a sweep only once its grid expanded and passed the size guard:
+	// malformed and oversized requests must not inflate the sweep metrics.
+	s.activeSweeps.Add(1)
+	s.totalSweeps.Add(1)
+	defer s.activeSweeps.Add(-1)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -406,7 +501,11 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-		if errors.Is(ctx.Err(), context.Canceled) {
+		// Any dead context ends the stream — cancellation (the client went
+		// away) and deadline expiry alike. Checking only Canceled here used
+		// to let a past-deadline request fall through into the next chunk
+		// and exit via the error-row path instead of terminating cleanly.
+		if ctx.Err() != nil {
 			return
 		}
 	}

@@ -3,15 +3,19 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/cache"
 	"antsearch/internal/core"
 	"antsearch/internal/scenario"
 )
@@ -38,7 +42,11 @@ func init() {
 
 func newTestServer(t *testing.T, cfg serverConfig) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(cfg).routes())
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -176,7 +184,10 @@ func TestSweepStreamsNDJSONRows(t *testing.T) {
 // the serving tentpole: N simultaneous identical /sweep requests must cost
 // exactly one simulation, with the cache counters proving the collapse.
 func TestConcurrentIdenticalSweepsRunOneSimulation(t *testing.T) {
-	srv := newServer(serverConfig{CacheSize: 16})
+	srv, err := newServer(serverConfig{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 
@@ -333,6 +344,226 @@ func TestSweepAdaptiveParity(t *testing.T) {
 	}
 }
 
+// TestSweepRowZeroCoordinatesSurvive is the regression test for the
+// omitempty bugfix: a legitimate zero-valued coordinate (seed 0 above all)
+// must appear explicitly in every NDJSON row, or clients re-keying results
+// by coordinates see ambiguous rows.
+func TestSweepRowZeroCoordinatesSurvive(t *testing.T) {
+	t.Parallel()
+
+	// Unit round-trip: a fully zero row keeps every coordinate key.
+	line, err := json.Marshal(sweepRow{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"index":0`, `"scenario":""`, `"k":0`, `"d":0`, `"trials":0`, `"seed":0`} {
+		if !strings.Contains(string(line), key) {
+			t.Errorf("zero sweepRow %s is missing %s", line, key)
+		}
+	}
+	var back sweepRow
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != (sweepRow{}) {
+		t.Errorf("zero sweepRow round-trips to %+v", back)
+	}
+
+	// End to end: a sweep with seed 0 streams rows that carry the seed.
+	ts := newTestServer(t, serverConfig{CacheSize: 16})
+	resp := postSweep(t, ts.URL, `{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 0}`)
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"seed":0`) {
+		t.Errorf("seed-0 sweep row dropped its seed: %s", raw)
+	}
+}
+
+// TestSweepMetricsCountOnlyValidRequests pins the metrics bugfix: malformed
+// and oversized bodies must not inflate the sweep counters — a sweep is
+// counted only once its grid expanded and passed the size guard.
+func TestSweepMetricsCountOnlyValidRequests(t *testing.T) {
+	t.Parallel()
+
+	srv, err := newServer(serverConfig{CacheSize: 16, MaxCells: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	for _, bad := range []string{
+		`{`,            // malformed JSON
+		`{"bogus": 1}`, // unknown field
+		`{"scenarios": ["nope"], "ks": [1], "ds": [4], "trials": 1}`,          // invalid grid
+		`{"scenarios": ["known-k"], "ks": [1, 2], "ds": [4, 8], "trials": 1}`, // oversized
+	} {
+		resp := postSweep(t, ts.URL, bad)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("request %q unexpectedly succeeded", bad)
+		}
+	}
+	if got := srv.totalSweeps.Load(); got != 0 {
+		t.Errorf("rejected requests inflated totalSweeps to %d", got)
+	}
+
+	decodeRows(t, postSweep(t, ts.URL, `{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 1}`))
+	if got := srv.totalSweeps.Load(); got != 1 {
+		t.Errorf("totalSweeps = %d after one valid sweep, want 1", got)
+	}
+	if got := srv.activeSweeps.Load(); got != 0 {
+		t.Errorf("activeSweeps = %d at rest, want 0", got)
+	}
+}
+
+// deadlineCtx is a hand-rolled context whose expiry the test controls
+// exactly: expire() closes Done and makes Err return DeadlineExceeded, the
+// states a real past-deadline request context is in.
+type deadlineCtx struct {
+	mu   sync.Mutex
+	done chan struct{}
+	err  error
+}
+
+func newDeadlineCtx() *deadlineCtx { return &deadlineCtx{done: make(chan struct{})} }
+
+func (c *deadlineCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *deadlineCtx) Done() <-chan struct{}       { return c.done }
+func (c *deadlineCtx) Value(any) any               { return nil }
+func (c *deadlineCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+func (c *deadlineCtx) expire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = context.DeadlineExceeded
+		close(c.done)
+	}
+}
+
+// expireAfterFirstRow expires the attached context as soon as the first
+// NDJSON row is written, i.e. exactly between the first chunk and the next.
+type expireAfterFirstRow struct {
+	*httptest.ResponseRecorder
+	ctx  *deadlineCtx
+	rows int
+}
+
+func (w *expireAfterFirstRow) Write(b []byte) (int, error) {
+	n, err := w.ResponseRecorder.Write(b)
+	w.rows += bytes.Count(b, []byte("\n"))
+	if w.rows >= 1 {
+		w.ctx.expire()
+	}
+	return n, err
+}
+
+// TestSweepDeadlineTerminatesStreamCleanly pins the early-exit bugfix: a
+// request whose context dies of DeadlineExceeded between chunks must stop
+// streaming right there — no further chunks, and no trailing error row (the
+// old Canceled-only check fell through into the next chunk and exited via
+// the error-row path).
+func TestSweepDeadlineTerminatesStreamCleanly(t *testing.T) {
+	t.Parallel()
+
+	srv, err := newServer(serverConfig{CacheSize: 16, CellWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newDeadlineCtx()
+	rec := &expireAfterFirstRow{ResponseRecorder: httptest.NewRecorder(), ctx: ctx}
+	body := `{"scenarios": ["known-k"], "ks": [1, 2, 3], "ds": [4], "trials": 2, "seed": 1}`
+	req := httptest.NewRequest(http.MethodPost, "/sweep", strings.NewReader(body)).WithContext(ctx)
+
+	srv.handleSweep(rec, req) // returns; with the bug it would stream all 3 cells
+
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("expired request streamed %d rows, want exactly the pre-expiry chunk:\n%s",
+			len(lines), rec.Body.String())
+	}
+	var row sweepRow
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Error != "" {
+		t.Errorf("deadline expiry leaked an error row: %+v", row)
+	}
+	if row.K != 1 || row.Stats == nil {
+		t.Errorf("pre-expiry row = %+v, want the first cell's result", row)
+	}
+}
+
+// TestServeRestartServesFromStore is the durability acceptance test at the
+// server level: a second server booted on the same store directory answers a
+// previously computed sweep entirely from disk — every row cached, stats
+// byte-identical, zero misses, zero new simulations.
+func TestServeRestartServesFromStore(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	body := `{"scenarios": ["known-k", "uniform"], "ks": [1, 2], "ds": [5],
+	          "trials": 6, "seed": 0, "params": {"epsilon": 0.5}}`
+
+	store1, err := cache.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := newServer(serverConfig{CacheSize: 64, Store: store1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.routes())
+	first := decodeRows(t, postSweep(t, ts1.URL, body))
+	ts1.Close()
+	if len(first) != 4 {
+		t.Fatalf("first boot returned %d rows, want 4", len(first))
+	}
+	// Graceful shutdown: compact the cache into the store.
+	if err := srv1.cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := cache.OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := newServer(serverConfig{CacheSize: 64, Store: store2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.cache.Close() })
+	if st := srv2.cache.Stats(); st.Loaded != 4 {
+		t.Fatalf("second boot loaded %d entries, want 4: %+v", st.Loaded, st)
+	}
+	ts2 := httptest.NewServer(srv2.routes())
+	defer ts2.Close()
+	second := decodeRows(t, postSweep(t, ts2.URL, body))
+	if len(second) != 4 {
+		t.Fatalf("second boot returned %d rows, want 4", len(second))
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Errorf("row %d not served from the store after restart", i)
+		}
+		a, _ := json.Marshal(first[i].Stats)
+		b, _ := json.Marshal(second[i].Stats)
+		if !bytes.Equal(a, b) {
+			t.Errorf("row %d stats changed across the restart:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+	if st := srv2.cache.Stats(); st.Misses != 0 || st.Hits != 4 {
+		t.Errorf("second boot ran simulations: %+v, want 0 misses and 4 hits", st)
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	t.Parallel()
 
@@ -341,6 +572,8 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-workers", "-1"},
 		{"-cell-workers", "0"},
 		{"-max-cells", "0"},
+		{"-snapshot-interval", "-1s"},
+		{"-snapshot-interval", "30s"}, // explicit interval without -store-dir
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {

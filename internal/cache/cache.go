@@ -6,7 +6,9 @@
 // simulation. Everything the engine computes is a pure function of the cell
 // configuration and seed (see the determinism contract in DESIGN.md), which
 // is what makes caching by content safe: a key can never map to two
-// different results.
+// different results — and what makes persistence safe: a cache backed by a
+// durable Store (see store.go) warm-starts across restarts, because a
+// persisted entry can never go stale, only its encoding can.
 package cache
 
 import (
@@ -16,22 +18,44 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"antsearch/internal/scenario"
 	"antsearch/internal/sim"
 )
 
-// Key is the canonical fingerprint of a cell configuration.
+// Key is the canonical fingerprint of a cell configuration. Keys built by
+// CellKey carry a visible "v<KeySchemaVersion>:" prefix, so a durable store
+// written under an older keying scheme is detectably stale: its keys are
+// skipped on load instead of being silently served for the wrong cell.
 type Key string
 
+// KeySchemaVersion is the version embedded in every CellKey. Bump it whenever
+// the fingerprint construction changes (fields added, rendering or separator
+// changed), so persisted entries keyed by the old scheme are ignored rather
+// than misread. v1 was the unprefixed, \x1f-separated scheme of PR 2; v2
+// length-prefixes every part (collision-proof) and added this prefix.
+const KeySchemaVersion = 2
+
+// keyPrefix is the prefix of a current-schema Key, derived from
+// KeySchemaVersion so bumping the version cannot leave the prefix behind.
+var keyPrefix = fmt.Sprintf("v%d:", KeySchemaVersion)
+
+// CurrentSchema reports whether the key was built by this release's keying
+// scheme. Warm-starting a cache drops persisted entries for which this is
+// false.
+func (k Key) CurrentSchema() bool { return strings.HasPrefix(string(k), keyPrefix) }
+
 // Fingerprint hashes an ordered list of values into a Key. Every value is
-// rendered with %v and separated unambiguously, so distinct configurations
-// cannot collide by concatenation.
+// rendered with %v and length-prefixed before hashing, so distinct part
+// lists can never collide by concatenation — not even when a part contains
+// the rendering of another part or any would-be separator byte.
 func Fingerprint(parts ...any) Key {
 	h := sha256.New()
 	for _, p := range parts {
-		fmt.Fprintf(h, "%v\x1f", p)
+		s := fmt.Sprintf("%v", p)
+		fmt.Fprintf(h, "%d:%s", len(s), s)
 	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }
@@ -40,13 +64,13 @@ func Fingerprint(parts ...any) Key {
 // that built its factory: scenario name, every Params knob, k, D, trial
 // budget, time cap, seed and the adversary identity. Two cells share a key
 // exactly when the engine is guaranteed to produce identical TrialStats for
-// them.
+// them. The returned key carries the schema-version prefix (see Key).
 func CellKey(c scenario.Cell, p scenario.Params) Key {
 	adv := "uniform-ring" // the runner's default placement at distance D
 	if c.Adversary != nil {
 		adv = c.Adversary.Name()
 	}
-	return Fingerprint(
+	return Key(keyPrefix) + Fingerprint(
 		"scenario", c.Scenario,
 		"eps", p.Epsilon, "delta", p.Delta, "rho", p.Rho, "bias", p.Bias, "mu", p.Mu, "paramD", p.D,
 		"k", c.K, "d", c.D, "trials", c.Trials, "maxTime", c.MaxTime, "seed", c.Seed,
@@ -69,6 +93,15 @@ type Stats struct {
 	Entries int `json:"entries"`
 	// InFlight is the number of computations currently running.
 	InFlight int `json:"in_flight"`
+	// Loaded counts entries warm-started from the durable store at
+	// construction (0 without a store).
+	Loaded uint64 `json:"loaded"`
+	// Persisted counts entries successfully appended to the durable store.
+	Persisted uint64 `json:"persisted"`
+	// StoreErrors counts failed store appends and snapshots. The cache keeps
+	// serving from memory when the store misbehaves; this counter is how the
+	// degradation surfaces.
+	StoreErrors uint64 `json:"store_errors"`
 }
 
 // Cache is a bounded, concurrency-safe LRU of TrialStats keyed by cell
@@ -80,8 +113,10 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	entries  map[Key]*list.Element
 	flights  map[Key]*flight
+	store    Store // nil = memory-only
 
 	hits, misses, joined, evictions uint64
+	loaded, persisted, storeErrors  uint64
 }
 
 // entry is one cached result, stored in the LRU list's elements.
@@ -114,6 +149,90 @@ func New(capacity int) *Cache {
 		entries:  make(map[Key]*list.Element),
 		flights:  make(map[Key]*flight),
 	}
+}
+
+// NewWithStore returns a cache backed by a durable store: it warm-starts
+// from the store's persisted entries (so a restarted process serves
+// previously computed cells without re-running a trial), appends every fresh
+// computation write-behind, and compacts on Snapshot/Close. A nil store
+// yields a plain in-memory cache, identical to New.
+//
+// Persisted entries whose key predates the current schema
+// (!Key.CurrentSchema()) are dropped during the warm start: an old keying
+// scheme must cost recomputation, never a wrong answer. Loading replays
+// entries oldest-first, so LRU recency survives the restart, and the LRU
+// bound applies during the replay — a store larger than capacity warm-starts
+// the most recently snapshotted entries.
+func NewWithStore(capacity int, store Store) (*Cache, error) {
+	c := New(capacity)
+	if store == nil {
+		return c, nil
+	}
+	c.store = store
+	err := store.Load(func(e Entry) {
+		if !e.Key.CurrentSchema() {
+			return
+		}
+		c.mu.Lock()
+		c.insertLocked(e.Key, e.Stats)
+		c.mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Count what actually survived the replay: the log may duplicate
+	// snapshot records (an append racing a compaction lands in both), and a
+	// store larger than capacity evicts during the replay — neither
+	// duplicates nor replay-dropped entries are "warm-started", and replay
+	// evictions are not runtime evictions, so both counters reset to the
+	// post-load truth.
+	c.mu.Lock()
+	c.loaded = uint64(len(c.entries))
+	c.evictions = 0
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Snapshot compacts the current cache contents into the store (a no-op
+// without one). It holds the cache lock for the duration of the disk write,
+// which is what makes the durability invariant simple: any entry inserted
+// before the snapshot is in it, and any entry inserted after will append to
+// the freshly truncated log — nothing acknowledged is ever lost, at the cost
+// of briefly blocking inserts (snapshots are rare: periodic and at
+// shutdown).
+func (c *Cache) Snapshot() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.store == nil {
+		return nil
+	}
+	entries := make([]Entry, 0, len(c.entries))
+	for el := c.ll.Back(); el != nil; el = el.Prev() { // oldest first: reload preserves recency
+		e := el.Value.(*entry)
+		entries = append(entries, Entry{Key: e.key, Stats: e.val})
+	}
+	if err := c.store.Snapshot(entries); err != nil {
+		c.storeErrors++
+		return err
+	}
+	return nil
+}
+
+// Close snapshots the cache into the store and closes it (a no-op without
+// one). The cache itself stays usable as a memory-only cache afterwards.
+func (c *Cache) Close() error {
+	err := c.Snapshot()
+	c.mu.Lock()
+	store := c.store
+	c.store = nil
+	c.mu.Unlock()
+	if store == nil {
+		return err
+	}
+	if cerr := store.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Do returns the value cached under key, computing it with compute on a miss.
@@ -164,11 +283,29 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(ctx context.Contex
 
 		c.mu.Lock()
 		delete(c.flights, key)
+		var store Store
 		if f.err == nil {
 			c.insertLocked(key, f.val)
+			store = c.store
 		}
 		c.mu.Unlock()
 		close(f.done)
+		if store != nil {
+			// Write-behind: the append happens off the cache lock, after the
+			// in-memory insert, so a concurrent Snapshot either already holds
+			// this entry (insert preceded its copy) or this append lands in
+			// the post-compaction log — either way the entry is durable.
+			// Store failures degrade to memory-only serving, counted, never
+			// surfaced to the caller who asked for a simulation result.
+			err := store.Append(Entry{Key: key, Stats: f.val})
+			c.mu.Lock()
+			if err != nil {
+				c.storeErrors++
+			} else {
+				c.persisted++
+			}
+			c.mu.Unlock()
+		}
 		return f.val, false, f.err
 	}
 }
@@ -212,11 +349,14 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Joined:    c.joined,
-		Evictions: c.evictions,
-		Entries:   len(c.entries),
-		InFlight:  len(c.flights),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Joined:      c.joined,
+		Evictions:   c.evictions,
+		Entries:     len(c.entries),
+		InFlight:    len(c.flights),
+		Loaded:      c.loaded,
+		Persisted:   c.persisted,
+		StoreErrors: c.storeErrors,
 	}
 }

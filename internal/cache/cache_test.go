@@ -237,6 +237,49 @@ func TestJoinerSurvivesLeaderCancellation(t *testing.T) {
 	}
 }
 
+// TestFingerprintSeparatorCollision is the regression test for the keying
+// bugfix: the old scheme joined %v-rendered parts with a bare \x1f, so a
+// part containing \x1f collided with the adjacent-parts rendering. Length
+// prefixing makes every part list unambiguous whatever bytes the parts
+// contain.
+func TestFingerprintSeparatorCollision(t *testing.T) {
+	t.Parallel()
+
+	collisions := []struct {
+		name string
+		a, b []any
+	}{
+		{"embedded separator", []any{"a\x1fb"}, []any{"a", "b"}},
+		{"separator with tail", []any{"a\x1fb", "c"}, []any{"a", "b", "c"}},
+		{"empty part vs absent part", []any{"a", ""}, []any{"a"}},
+		{"digits bleeding into length prefix", []any{"1", "2"}, []any{"12"}},
+		{"rendered numbers vs strings stay equal-safe", []any{1, 2}, []any{12}},
+	}
+	for _, c := range collisions {
+		if Fingerprint(c.a...) == Fingerprint(c.b...) {
+			t.Errorf("%s: Fingerprint(%q) collides with Fingerprint(%q)", c.name, c.a, c.b)
+		}
+	}
+	if Fingerprint("a", "b") != Fingerprint("a", "b") {
+		t.Error("identical part lists must agree")
+	}
+}
+
+// TestCellKeyCarriesSchemaVersion pins the visible key versioning the
+// durable store depends on: keys built today are recognisably
+// current-schema, unprefixed (v1-era) keys are not.
+func TestCellKeyCarriesSchemaVersion(t *testing.T) {
+	t.Parallel()
+
+	k := CellKey(scenario.Cell{Scenario: "known-k", K: 1, D: 4, Trials: 2, Seed: 1}, scenario.DefaultParams())
+	if !k.CurrentSchema() {
+		t.Errorf("CellKey %q does not carry the current schema prefix", k)
+	}
+	if Fingerprint("bare").CurrentSchema() {
+		t.Error("a bare fingerprint must not pass as a current-schema cell key")
+	}
+}
+
 func TestCellKeyDiscriminates(t *testing.T) {
 	t.Parallel()
 

@@ -1,0 +1,244 @@
+// This file holds the durable result store. A cache backed by a Store
+// survives restarts: every computed cell is appended to a write-behind log,
+// the whole cache is compacted into a snapshot on demand (typically
+// periodically and on graceful shutdown), and a fresh cache warm-starts from
+// snapshot + log. Persistence is uniquely safe here because a cached
+// aggregate is a pure function of the cell configuration and seed (the
+// determinism contract in DESIGN.md §7): a persisted entry can never go
+// stale, only its encoding can — which is what the schema versions guard.
+
+package cache
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"antsearch/internal/sim"
+)
+
+// StoreSchemaVersion is the version stamped on every persisted record. A
+// record carrying a different version is skipped on load — ignored, never
+// misread — so an encoding change only costs recomputation, not corruption.
+// Bump it whenever the wire form of a record (the sim.TrialStats JSON
+// encoding included) changes incompatibly.
+const StoreSchemaVersion = 1
+
+// Entry is one persisted (key, aggregate) pair.
+type Entry struct {
+	Key   Key
+	Stats sim.TrialStats
+}
+
+// Store persists cache entries across process restarts. Implementations must
+// be safe for concurrent use: Append may race with Snapshot and Close.
+type Store interface {
+	// Load streams every usable persisted entry to emit, later-written
+	// entries last (so replaying emits in order reconstructs recency).
+	// Entries written by a different schema version are silently skipped.
+	Load(emit func(Entry)) error
+	// Append durably records one computed entry (the write-behind path).
+	Append(Entry) error
+	// Snapshot atomically replaces the persisted state with exactly the
+	// given entries, oldest first, and discards the append log (compaction).
+	// Entries evicted from the cache since the last snapshot are thereby
+	// dropped from disk too.
+	Snapshot(entries []Entry) error
+	// Close releases resources. Appends after Close fail.
+	Close() error
+}
+
+// record is the NDJSON wire form of one persisted entry.
+type record struct {
+	SchemaVersion int            `json:"schema_version"`
+	Key           Key            `json:"key"`
+	Stats         sim.TrialStats `json:"stats"`
+}
+
+const (
+	snapshotFile = "snapshot.ndjson"
+	logFile      = "log.ndjson"
+)
+
+// DiskStore is the disk-backed Store: an append-only NDJSON log of
+// {schema_version, key, stats} records next to a compacted snapshot file,
+// both under one directory. Writes are crash-safe by construction — appends
+// are single line-writes (a torn final line is dropped on load), snapshots
+// are written to a temp file and renamed into place before the log is
+// truncated, so every crash point leaves a loadable superset or equal set of
+// the acknowledged state.
+type DiskStore struct {
+	mu      sync.Mutex
+	dir     string
+	log     *os.File
+	lock    *os.File // holds the directory's exclusive flock
+	closed  bool
+	skipped int // records dropped by the last Load (schema or parse)
+}
+
+// OpenDiskStore opens (creating if needed) the store rooted at dir. The
+// directory is claimed with an exclusive lock: two processes sharing one
+// store dir would silently truncate each other's acknowledged appends at
+// compaction time, so the second open fails loudly instead.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: open store: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cache: open store lock: %w", err)
+	}
+	if err := lockFileExclusive(lock.Fd()); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("cache: store directory %s is already in use by another process: %w", dir, err)
+	}
+	// A crash between writing a snapshot temp file and renaming it into
+	// place orphans the temp file; sweep leftovers (safe now that the lock
+	// guarantees no live peer is mid-snapshot) so repeated crashes cannot
+	// accumulate full-size snapshots forever.
+	if orphans, err := filepath.Glob(filepath.Join(dir, snapshotFile+".tmp-*")); err == nil {
+		for _, orphan := range orphans {
+			_ = os.Remove(orphan)
+		}
+	}
+	log, err := os.OpenFile(filepath.Join(dir, logFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("cache: open store log: %w", err)
+	}
+	return &DiskStore{dir: dir, log: log, lock: lock}, nil
+}
+
+// Load implements Store: snapshot first, then the log, so log records
+// (written after the snapshot they follow) win on duplicate keys when the
+// caller replays emissions in order. Unparseable lines (a crash-torn tail,
+// hand-edited files) and records from other schema versions are skipped, not
+// errors: the worst outcome of a damaged store is recomputation.
+func (s *DiskStore) Load(emit func(Entry)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.skipped = 0
+	for _, name := range []string{snapshotFile, logFile} {
+		if err := s.loadFileLocked(filepath.Join(s.dir, name), emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *DiskStore) loadFileLocked(path string, emit func(Entry)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cache: load store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.SchemaVersion != StoreSchemaVersion {
+			s.skipped++
+			continue
+		}
+		emit(Entry{Key: rec.Key, Stats: rec.Stats})
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("cache: load store %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Skipped reports how many records the last Load dropped (wrong schema
+// version or unparseable).
+func (s *DiskStore) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// Append implements Store: one marshalled record, one line, one write.
+func (s *DiskStore) Append(e Entry) error {
+	line, err := json.Marshal(record{SchemaVersion: StoreSchemaVersion, Key: e.Key, Stats: e.Stats})
+	if err != nil {
+		return fmt.Errorf("cache: append to store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cache: append to closed store")
+	}
+	if _, err := s.log.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("cache: append to store: %w", err)
+	}
+	return nil
+}
+
+// Snapshot implements Store: write every entry to a temp file, fsync, rename
+// over the old snapshot, then truncate the log. A crash before the rename
+// leaves the previous snapshot + full log (nothing lost); a crash between
+// rename and truncate leaves snapshot + stale log whose records duplicate
+// snapshot ones — harmless, since identical keys carry identical values.
+func (s *DiskStore) Snapshot(entries []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cache: snapshot on closed store")
+	}
+	tmp, err := os.CreateTemp(s.dir, snapshotFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(record{SchemaVersion: StoreSchemaVersion, Key: e.Key, Stats: e.Stats}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("cache: snapshot: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("cache: snapshot: %w", err)
+	}
+	if err := s.log.Truncate(0); err != nil {
+		return fmt.Errorf("cache: snapshot: truncate log: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store. Closing the lock file releases the directory's
+// exclusive lock, so another process may open the store afterwards.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.log.Close()
+	if cerr := s.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,7 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package cache
+
+// lockFileExclusive is a no-op where flock is unavailable: the store still
+// works, it just cannot detect a second process sharing its directory.
+func lockFileExclusive(uintptr) error { return nil }

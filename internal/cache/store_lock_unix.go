@@ -1,0 +1,12 @@
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package cache
+
+import "syscall"
+
+// lockFileExclusive takes a non-blocking exclusive flock on fd. The kernel
+// releases the lock when the file is closed (including on crash), so a stale
+// lock can never wedge the store.
+func lockFileExclusive(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+}

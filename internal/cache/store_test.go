@@ -1,0 +1,411 @@
+package cache
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"antsearch/internal/sim"
+)
+
+// testKeyV2 builds a current-schema key for synthetic store tests; entries
+// under other key schemas are dropped on warm start, so tests that expect
+// their entries back must key them like CellKey does.
+func testKeyV2(parts ...any) Key {
+	return Key(keyPrefix) + Fingerprint(parts...)
+}
+
+func loadAll(t *testing.T, s Store) map[Key]sim.TrialStats {
+	t.Helper()
+	got := map[Key]sim.TrialStats{}
+	if err := s.Load(func(e Entry) { got[e.Key] = e.Stats }); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestDiskStoreAppendLoadRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Key]sim.TrialStats{}
+	for i := 1; i <= 5; i++ {
+		k := testKeyV2("cell", i)
+		v := testStats(i)
+		want[k] = v
+		if err := s.Append(Entry{Key: k, Stats: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := loadAll(t, s2); !reflect.DeepEqual(got, want) {
+		t.Errorf("reloaded %d entries %+v, want %+v", len(got), got, want)
+	}
+	if skipped := s2.Skipped(); skipped != 0 {
+		t.Errorf("clean store skipped %d records on load", skipped)
+	}
+}
+
+// TestDiskStoreSnapshotCompacts pins the compaction contract: a snapshot
+// replaces the persisted state with exactly the given entries (evicted ones
+// drop off disk) and truncates the append log, while appends after the
+// snapshot still survive a reload.
+func TestDiskStoreSnapshotCompacts(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, evicted, late := testKeyV2("keep"), testKeyV2("evicted"), testKeyV2("late")
+	for _, k := range []Key{keep, evicted} {
+		if err := s.Append(Entry{Key: k, Stats: testStats(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot([]Entry{{Key: keep, Stats: testStats(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Entry{Key: late, Stats: testStats(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	logInfo, err := os.Stat(filepath.Join(dir, logFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logInfo.Size() == 0 {
+		t.Error("post-snapshot append left an empty log")
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := loadAll(t, s2)
+	want := map[Key]sim.TrialStats{keep: testStats(2), late: testStats(3)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("after compaction got %+v, want %+v (evicted entry must be gone)", got, want)
+	}
+}
+
+// TestDiskStoreSkipsStaleAndGarbage is the schema-safety acceptance test: a
+// store holding records from another schema version, unparseable lines and a
+// crash-torn tail loads cleanly, skipping exactly the bad records.
+func TestDiskStoreSkipsStaleAndGarbage(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	good := testKeyV2("good")
+	goodLine, err := json.Marshal(record{SchemaVersion: StoreSchemaVersion, Key: good, Stats: testStats(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLine, err := json.Marshal(record{SchemaVersion: StoreSchemaVersion - 1, Key: testKeyV2("old"), Stats: testStats(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futureLine, err := json.Marshal(record{SchemaVersion: StoreSchemaVersion + 7, Key: testKeyV2("future"), Stats: testStats(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := fmt.Sprintf("%s\n%s\n%s\nnot json at all\n{\"schema_version\": %d, \"key\": \"torn",
+		oldLine, goodLine, futureLine, StoreSchemaVersion)
+	if err := os.WriteFile(filepath.Join(dir, logFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := loadAll(t, s)
+	if len(got) != 1 || got[good].Trials != 4 {
+		t.Errorf("loaded %+v, want exactly the current-schema entry", got)
+	}
+	if skipped := s.Skipped(); skipped != 4 {
+		t.Errorf("skipped %d records, want 4 (old schema, future schema, garbage, torn tail)", skipped)
+	}
+}
+
+func TestNewWithStoreWarmStart(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewWithStore(8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKeyV2("warm")
+	computes := 0
+	if _, _, err := c.Do(context.Background(), key, func(context.Context) (sim.TrialStats, error) {
+		computes++
+		return testStats(9), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Persisted != 1 || st.StoreErrors != 0 {
+		t.Fatalf("after one computation stats = %+v, want persisted=1", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewWithStore(8, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if st := c2.Stats(); st.Loaded != 1 || st.Entries != 1 {
+		t.Fatalf("warm start stats = %+v, want 1 loaded entry", st)
+	}
+	v, cached, err := c2.Do(context.Background(), key, func(context.Context) (sim.TrialStats, error) {
+		t.Error("a warm-started entry must not recompute")
+		return sim.TrialStats{}, nil
+	})
+	if err != nil || !cached || v.Trials != 9 {
+		t.Errorf("warm-started Do = (%+v, %v, %v), want the persisted value as a hit", v, cached, err)
+	}
+	if computes != 1 {
+		t.Errorf("compute ran %d times across the restart, want 1", computes)
+	}
+}
+
+// TestWarmStartDropsStaleKeySchema pins the key-versioning half of the
+// durability contract: entries keyed under an older CellKey scheme are
+// ignored on warm start (they cost recomputation), never served.
+func TestWarmStartDropsStaleKeySchema(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v1-era key: the bare hex fingerprint, no version prefix.
+	staleKey := Fingerprint("scenario", "known-k", "k", 4)
+	currentKey := testKeyV2("scenario", "known-k", "k", 4)
+	if err := s.Append(Entry{Key: staleKey, Stats: testStats(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Entry{Key: currentKey, Stats: testStats(2)}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewWithStore(8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if st := c.Stats(); st.Loaded != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want exactly the current-schema entry loaded", st)
+	}
+	if _, ok := c.Get(staleKey); ok {
+		t.Error("a stale-schema key must not be served")
+	}
+	if v, ok := c.Get(currentKey); !ok || v.Trials != 2 {
+		t.Errorf("current-schema entry = (%+v, %v), want loaded", v, ok)
+	}
+}
+
+// TestCachePersistenceUnderConcurrency is the race-enabled durability test:
+// concurrent Do traffic interleaved with snapshots must leave a store that
+// reloads to exactly the surviving in-memory state.
+func TestCachePersistenceUnderConcurrency(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		keys    = 24
+	)
+	c, err := NewWithStore(keys+8, s) // roomy: no evictions, every key survives
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := testKeyV2("cell", i)
+				v, _, err := c.Do(context.Background(), k, func(context.Context) (sim.TrialStats, error) {
+					return testStats(i + 1), nil
+				})
+				if err != nil || v.Trials != i+1 {
+					t.Errorf("worker %d key %d: (%+v, %v)", w, i, v, err)
+					return
+				}
+				if w == 0 && i%5 == 0 {
+					if err := c.Snapshot(); err != nil {
+						t.Errorf("snapshot: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.StoreErrors != 0 {
+		t.Fatalf("store errors under concurrency: %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewWithStore(keys+8, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if st := c2.Stats(); st.Loaded != keys || st.Entries != keys {
+		t.Fatalf("reload stats = %+v, want all %d entries back", st, keys)
+	}
+	for i := 0; i < keys; i++ {
+		v, ok := c2.Get(testKeyV2("cell", i))
+		if !ok || v.Trials != i+1 {
+			t.Errorf("key %d after reload = (%+v, %v), want the computed value", i, v, ok)
+		}
+	}
+}
+
+// TestWarmStartCountersWithSmallCapacity pins the counter semantics when the
+// store outgrows the cache: Loaded reports what actually survived the replay
+// (not every emitted record), and replay evictions are not runtime evictions.
+func TestWarmStartCountersWithSmallCapacity(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const persisted, capacity = 10, 4
+	for i := 0; i < persisted; i++ {
+		if err := s.Append(Entry{Key: testKeyV2("cell", i), Stats: testStats(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewWithStore(capacity, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st := c.Stats()
+	if st.Loaded != capacity || st.Entries != capacity {
+		t.Errorf("stats = %+v, want the %d retained entries counted as loaded", st, capacity)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("replay evictions leaked into the runtime counter: %+v", st)
+	}
+	// The replay preserves append order, so the most recent entries survive.
+	for i := persisted - capacity; i < persisted; i++ {
+		if _, ok := c.Get(testKeyV2("cell", i)); !ok {
+			t.Errorf("recent entry %d missing after bounded warm start", i)
+		}
+	}
+}
+
+// TestOpenDiskStoreRejectsConcurrentUse pins the directory lock: two live
+// stores on one directory would truncate each other's acknowledged appends
+// at compaction, so the second open must fail loudly — and succeed again
+// once the first closes.
+func TestOpenDiskStoreRejectsConcurrentUse(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s1, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(dir); err == nil {
+		t.Fatal("second OpenDiskStore on a live directory must fail")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close failed: %v", err)
+	}
+	s2.Close()
+}
+
+func TestOpenDiskStoreSweepsOrphanedTempFiles(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, snapshotFile+".tmp-12345")
+	if err := os.WriteFile(orphan, []byte("half-written snapshot"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned snapshot temp file survived OpenDiskStore: %v", err)
+	}
+}
+
+func TestStoreOperationsAfterCloseFail(t *testing.T) {
+	t.Parallel()
+
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close = %v, want idempotent nil", err)
+	}
+	if err := s.Append(Entry{Key: testKeyV2("x"), Stats: testStats(1)}); err == nil {
+		t.Error("Append after Close must fail")
+	}
+	if err := s.Snapshot(nil); err == nil {
+		t.Error("Snapshot after Close must fail")
+	}
+}

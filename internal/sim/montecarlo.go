@@ -63,6 +63,13 @@ func (c TrialConfig) Validate() error {
 // by streaming accumulators, so its size is bounded by the quantile-sketch
 // cap (stats.DefaultSketchCap) rather than by the number of trials: up to the
 // cap all quantiles are exact, beyond it they are P² estimates.
+//
+// The JSON encoding is a stability contract: antserve streams TrialStats in
+// NDJSON rows and the durable result store (internal/cache) persists them
+// across restarts, so marshal → unmarshal → marshal must be a fixed point
+// and a decoded value must answer every derived query identically
+// (TestTrialStatsJSONRoundTrip). Changing the encoding means bumping
+// cache.StoreSchemaVersion so old stores are skipped, not misread.
 type TrialStats struct {
 	// Config echoes the inputs that produced these statistics.
 	NumAgents int

@@ -10,7 +10,11 @@ import (
 // struct keeps its query state in unexported fields, so without explicit
 // marshalling a round-trip through JSON would silently drop every quantile;
 // the serving layer (cmd/antserve) streams TrialStats rows as JSON and needs
-// the encoding to be lossless and stable across releases.
+// the encoding to be lossless and stable across releases. Since PR 5 the
+// durable result store (internal/cache) persists TrialStats in this same
+// encoding across restarts, so losslessness is load-bearing twice over: the
+// round-trip must be a fixed point (sim.TestTrialStatsJSONRoundTrip) for a
+// restarted server to reproduce byte-identical rows.
 type quantileSummaryJSON struct {
 	N     int     `json:"n"`
 	Min   float64 `json:"min"`
