@@ -180,23 +180,64 @@ func BenchmarkMonteCarloEstimate(b *testing.B) {
 func BenchmarkSweepEngine(b *testing.B) {
 	for _, trials := range []int{1, 8, 64, 512, 4096} {
 		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
-			ctx := context.Background()
-			factory := antsearch.KnownKFactory()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				est, err := antsearch.EstimateTime(ctx, factory, 4, 8,
-					antsearch.WithSeed(uint64(i)+1), antsearch.WithTrials(trials))
-				if err != nil {
-					b.Fatal(err)
-				}
-				if est.Trials != trials {
-					b.Fatalf("ran %d trials, want %d", est.Trials, trials)
-				}
-			}
-			b.ReportMetric(float64(trials), "trials/op")
+			benchSweep(b, antsearch.KnownKFactory(), trials, 0)
 		})
 	}
+	// Per-algorithm variants at a fixed mid-sized trial count: the sortie
+	// batch the engine pulls per interface call differs per searcher (three
+	// segments for the paper's algorithms, chunked runs for the step-wise
+	// baselines), so each variant guards a different emission path. Resolved
+	// through the scenario registry, like a sweep would.
+	for _, v := range []struct {
+		name    string
+		params  antsearch.ScenarioParams
+		trials  int
+		maxTime int
+	}{
+		{"known-k", antsearch.ScenarioParams{}, 512, 0},
+		{"uniform", antsearch.ScenarioParams{Epsilon: 0.5}, 512, 0},
+		{"harmonic", antsearch.ScenarioParams{Delta: 0.5}, 512, 1 << 20},
+		{"single-spiral", antsearch.ScenarioParams{}, 512, 0},
+		// Lévy trials that miss run until the cap in short power-law legs, so
+		// this variant uses a tight cap and fewer trials to stay CI-sized
+		// while still measuring the leg-batched emission path.
+		{"levy", antsearch.ScenarioParams{Mu: 2}, 64, 1 << 12},
+	} {
+		factory, err := antsearch.ScenarioFactory(v.name, v.params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("alg=%s/trials=%d", v.name, v.trials), func(b *testing.B) {
+			benchSweep(b, factory, v.trials, v.maxTime)
+		})
+	}
+}
+
+// benchSweep is the body shared by every BenchmarkSweepEngine variant: one
+// EstimateTime sweep per iteration at k=4, d=8, reporting trials/op so the
+// per-trial allocation rate can be derived from allocs/op.
+func benchSweep(b *testing.B, factory antsearch.Factory, trials, maxTime int) {
+	ctx := context.Background()
+	// Room for the per-iteration seed option, so the append below reuses the
+	// backing array instead of allocating inside the measured loop.
+	opts := make([]antsearch.Option, 0, 3)
+	opts = append(opts, antsearch.WithTrials(trials))
+	if maxTime > 0 {
+		opts = append(opts, antsearch.WithMaxTime(maxTime))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := antsearch.EstimateTime(ctx, factory, 4, 8,
+			append(opts, antsearch.WithSeed(uint64(i)+1))...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.Trials != trials {
+			b.Fatalf("ran %d trials, want %d", est.Trials, trials)
+		}
+	}
+	b.ReportMetric(float64(trials), "trials/op")
 }
 
 // BenchmarkTrialAccumulator measures the pure aggregation cost per trial

@@ -7,7 +7,8 @@
 //
 //	antserve [-addr :8077] [-cache-size 4096] [-adaptive]
 //	         [-workers 0] [-cell-workers 1] [-max-cells 10000]
-//	         [-store-dir ""] [-snapshot-interval 5m] [-debug-addr ""]
+//	         [-store-dir ""] [-fsync-appends] [-snapshot-interval 5m]
+//	         [-debug-addr ""]
 //
 // By default (-adaptive=true) every /sweep request picks its own
 // parallelism split with scenario.AutoSplit: a grid of many small cells
@@ -24,8 +25,11 @@
 // serves previously computed sweeps with "cached": true without re-running
 // a single trial. Safe because results are a pure function of the cell
 // configuration and seed; entries written under an older schema version are
-// skipped, never misread. /stats reports loaded/persisted/store_errors
-// counters alongside the cache hit/miss ones.
+// skipped, never misread. By default an acknowledged append has merely left
+// the process (surviving a crash of antserve itself); -fsync-appends flushes
+// the log to disk per appended cell so entries also survive an OS crash or
+// power loss. /stats reports loaded/persisted/store_errors counters
+// alongside the cache hit/miss ones.
 //
 // Endpoints:
 //
@@ -86,6 +90,7 @@ func run(args []string, logw io.Writer) error {
 		cellWorkers  = fs.Int("cell-workers", 1, "cells computed concurrently per request with -adaptive=false (1 = sequential)")
 		maxCells     = fs.Int("max-cells", 10000, "largest grid a single /sweep may expand to")
 		storeDir     = fs.String("store-dir", "", "directory for the durable result store (empty = memory-only cache)")
+		fsyncAppends = fs.Bool("fsync-appends", false, "fsync the store log after every appended cell, surviving OS crashes and power loss (needs -store-dir)")
 		snapInterval = fs.Duration("snapshot-interval", 5*time.Minute, "how often to compact the store (0 = only on shutdown; needs -store-dir)")
 		debugAddr    = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	)
@@ -100,6 +105,9 @@ func run(args []string, logw io.Writer) error {
 	}
 	if *snapInterval > 0 && *storeDir == "" && snapIntervalSet(fs) {
 		return fmt.Errorf("-snapshot-interval needs -store-dir")
+	}
+	if *fsyncAppends && *storeDir == "" {
+		return fmt.Errorf("-fsync-appends needs -store-dir")
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
@@ -135,7 +143,7 @@ func run(args []string, logw io.Writer) error {
 	}
 	var diskStore *cache.DiskStore
 	if *storeDir != "" {
-		store, err := cache.OpenDiskStore(*storeDir)
+		store, err := cache.OpenDiskStoreWith(*storeDir, cache.DiskStoreOptions{FsyncAppends: *fsyncAppends})
 		if err != nil {
 			return fmt.Errorf("-store-dir: %w", err)
 		}

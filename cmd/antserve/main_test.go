@@ -512,7 +512,9 @@ func TestServeRestartServesFromStore(t *testing.T) {
 	body := `{"scenarios": ["known-k", "uniform"], "ks": [1, 2], "ds": [5],
 	          "trials": 6, "seed": 0, "params": {"epsilon": 0.5}}`
 
-	store1, err := cache.OpenDiskStore(dir)
+	// The first boot fsyncs its appends — the option must be transparent to
+	// everything above the store, including the restart warm-start below.
+	store1, err := cache.OpenDiskStoreWith(dir, cache.DiskStoreOptions{FsyncAppends: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -574,6 +576,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-max-cells", "0"},
 		{"-snapshot-interval", "-1s"},
 		{"-snapshot-interval", "30s"}, // explicit interval without -store-dir
+		{"-fsync-appends"},            // durability knob without -store-dir
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {

@@ -39,6 +39,28 @@ type Searcher interface {
 	NextSegment() (seg trajectory.Seg, ok bool)
 }
 
+// SortieEmitter is the optional batch view of a Searcher: instead of handing
+// out one segment per call, EmitSortie appends a whole run of segments —
+// typically one sortie (walk out, spiral, walk back) — to the caller-owned
+// buffer and returns the extended slice. The engines pull millions of
+// segments per sweep, and the batch view is what lets their per-segment loop
+// scan a flat []Seg with direct calls, paying one interface dispatch per
+// sortie instead of per segment.
+//
+// Contract: the appended segments must be exactly the segments NextSegment
+// would have produced, in order, consuming the same randomness — EmitSortie
+// and NextSegment are two pull styles over one schedule, and implementations
+// must keep them coherent even when a caller switches between them. When
+// ok is true at least one segment must be appended (the engine treats an
+// empty batch as a zero-progress step and eventually errors); ok == false
+// means the schedule is over, exactly like NextSegment's ok == false.
+// Implementations may append more than one sortie per call, but should keep
+// batches modest: segments the engine never scans (because the trial ended
+// first) are wasted work.
+type SortieEmitter interface {
+	EmitSortie(buf []trajectory.Seg) (segs []trajectory.Seg, ok bool)
+}
+
 // Algorithm equips each of the identical agents with a Searcher. An algorithm
 // carries its advice about k (if any) in its own fields — it receives only a
 // random stream and the agent's index, never the true number of agents, so

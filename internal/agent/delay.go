@@ -44,7 +44,12 @@ func (d *Delayed) Name() string {
 
 // delayedSearcher prepends a single pause to an inner searcher's schedule.
 type delayedSearcher struct {
-	inner        Searcher
+	inner Searcher
+	// innerEmit is the inner searcher's batch view, resolved once at
+	// construction (nil when the inner searcher only supports NextSegment),
+	// so the wrapper's own EmitSortie does not repeat the type assertion per
+	// sortie.
+	innerEmit    SortieEmitter
 	delay        int
 	emittedPause bool
 }
@@ -60,6 +65,26 @@ func (s *delayedSearcher) NextSegment() (trajectory.Seg, bool) {
 	return s.inner.NextSegment()
 }
 
+// EmitSortie implements SortieEmitter: the initial pause as its own batch,
+// then the inner searcher's batches (or, for a batch-unaware inner searcher,
+// its segments one at a time).
+func (s *delayedSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	if !s.emittedPause {
+		s.emittedPause = true
+		if s.delay > 0 {
+			return append(buf, trajectory.PauseSeg(grid.Origin, s.delay)), true
+		}
+	}
+	if s.innerEmit != nil {
+		return s.innerEmit.EmitSortie(buf)
+	}
+	seg, ok := s.inner.NextSegment()
+	if !ok {
+		return buf, false
+	}
+	return append(buf, seg), true
+}
+
 // NewSearcher implements Algorithm. The delay consumes randomness from the
 // same per-agent stream as the inner algorithm, so runs remain reproducible.
 func (d *Delayed) NewSearcher(rng *xrand.Stream, agentIndex int) Searcher {
@@ -67,7 +92,9 @@ func (d *Delayed) NewSearcher(rng *xrand.Stream, agentIndex int) Searcher {
 	if d.MaxDelay > 0 {
 		delay = rng.IntN(d.MaxDelay + 1)
 	}
-	return &delayedSearcher{inner: d.Inner.NewSearcher(rng, agentIndex), delay: delay}
+	inner := d.Inner.NewSearcher(rng, agentIndex)
+	emit, _ := inner.(SortieEmitter)
+	return &delayedSearcher{inner: inner, innerEmit: emit, delay: delay}
 }
 
 // ReuseSearcher implements SearcherReuser. The delay is drawn before the
@@ -87,6 +114,7 @@ func (d *Delayed) ReuseSearcher(prev Searcher, rng *xrand.Stream, agentIndex int
 	} else {
 		s.inner = d.Inner.NewSearcher(rng, agentIndex)
 	}
+	s.innerEmit, _ = s.inner.(SortieEmitter)
 	s.delay = delay
 	s.emittedPause = false
 	return s

@@ -61,6 +61,15 @@ func (s *singleSpiralSearcher) NextSegment() (trajectory.Seg, bool) {
 	return seg, true
 }
 
+// EmitSortie implements agent.SortieEmitter. One chunk per call: a chunk
+// already covers 2^16 steps, so there is nothing to gain from prefetching
+// more (each unscanned chunk would cost a spiral-end square root for
+// nothing).
+func (s *singleSpiralSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	seg, _ := s.NextSegment()
+	return append(buf, seg), true
+}
+
 // NewSearcher implements agent.Algorithm.
 func (SingleSpiral) NewSearcher(*xrand.Stream, int) agent.Searcher {
 	return &singleSpiralSearcher{}
@@ -125,6 +134,26 @@ func (s *knownDSearcher) NextSegment() (trajectory.Seg, bool) {
 	return seg, true
 }
 
+// knownDBatch is the number of ring-arc segments EmitSortie appends per call.
+const knownDBatch = 64
+
+// EmitSortie implements agent.SortieEmitter: the walk out as its own batch,
+// then the ring sweep in runs of knownDBatch arcs.
+func (s *knownDSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	if !s.started {
+		seg, _ := s.NextSegment()
+		return append(buf, seg), true
+	}
+	if s.emitted >= s.ringSize {
+		return buf, false
+	}
+	for i := 0; i < knownDBatch && s.emitted < s.ringSize; i++ {
+		seg, _ := s.NextSegment()
+		buf = append(buf, seg)
+	}
+	return buf, true
+}
+
 // NewSearcher implements agent.Algorithm.
 func (a *KnownD) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
 	ringSize := grid.RingSize(a.d)
@@ -171,6 +200,21 @@ func (s *randomWalkSearcher) NextSegment() (trajectory.Seg, bool) {
 	seg := trajectory.WalkSeg(s.pos, next)
 	s.pos = next
 	return seg, true
+}
+
+// randomWalkBatch is the number of unit steps EmitSortie appends per call.
+// Prefetched steps the engine never scans consume extra direction draws, but
+// per-agent streams are reseeded every trial, so the surplus is unobservable.
+const randomWalkBatch = 32
+
+// EmitSortie implements agent.SortieEmitter.
+func (s *randomWalkSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	for i := 0; i < randomWalkBatch; i++ {
+		next := s.pos.Step(s.rng.Direction())
+		buf = append(buf, trajectory.WalkSeg(s.pos, next))
+		s.pos = next
+	}
+	return buf, true
 }
 
 // NewSearcher implements agent.Algorithm.
@@ -234,6 +278,20 @@ func (s *levyFlightSearcher) NextSegment() (trajectory.Seg, bool) {
 	seg := trajectory.WalkSeg(s.pos, next)
 	s.pos = next
 	return seg, true
+}
+
+// levyBatch is the number of flight legs EmitSortie appends per call. As with
+// the random walk, over-drawn randomness for unscanned legs is invisible
+// because streams are reseeded per trial.
+const levyBatch = 8
+
+// EmitSortie implements agent.SortieEmitter.
+func (s *levyFlightSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	for i := 0; i < levyBatch; i++ {
+		seg, _ := s.NextSegment()
+		buf = append(buf, seg)
+	}
+	return buf, true
 }
 
 // NewSearcher implements agent.Algorithm.

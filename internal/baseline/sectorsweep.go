@@ -79,6 +79,19 @@ func (s *sectorSweepSearcher) NextSegment() (trajectory.Seg, bool) {
 	}
 }
 
+// sectorSweepBatch is the number of arc segments EmitSortie appends per call.
+const sectorSweepBatch = 32
+
+// EmitSortie implements agent.SortieEmitter. The sweep is deterministic, so
+// batching changes nothing but the pull granularity.
+func (s *sectorSweepSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	for i := 0; i < sectorSweepBatch; i++ {
+		seg, _ := s.NextSegment()
+		buf = append(buf, seg)
+	}
+	return buf, true
+}
+
 // NewSearcher implements agent.Algorithm. Unlike the paper's algorithms the
 // searcher depends on the agent index: that is precisely the coordination
 // this baseline is allowed to use.

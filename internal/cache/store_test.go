@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -407,5 +408,50 @@ func TestStoreOperationsAfterCloseFail(t *testing.T) {
 	}
 	if err := s.Snapshot(nil); err == nil {
 		t.Error("Snapshot after Close must fail")
+	}
+}
+
+// TestDiskStoreFsyncAppends covers the synchronous-append option: entries
+// acknowledged by a fsyncing store must round-trip exactly like default ones
+// (the option changes durability, not the wire form), and appends after Close
+// must still fail.
+func TestDiskStoreFsyncAppends(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStoreWith(dir, DiskStoreOptions{FsyncAppends: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Key]sim.TrialStats{}
+	for i := 1; i <= 3; i++ {
+		k := testKeyV2("fsync-cell", i)
+		v := testStats(i)
+		want[k] = v
+		if err := s.Append(Entry{Key: k, Stats: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The acknowledged bytes must already be on the log file, not buffered in
+	// the process: a reader that opens the file independently sees them.
+	if data, err := os.ReadFile(filepath.Join(dir, "log.ndjson")); err != nil {
+		t.Fatal(err)
+	} else if lines := bytes.Count(data, []byte("\n")); lines != 3 {
+		t.Errorf("log holds %d complete lines after 3 fsynced appends, want 3", lines)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Entry{Key: testKeyV2("late"), Stats: testStats(9)}); err == nil {
+		t.Error("append after close succeeded on a fsyncing store")
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := loadAll(t, s2); !reflect.DeepEqual(got, want) {
+		t.Errorf("reloaded %+v, want %+v", got, want)
 	}
 }

@@ -125,6 +125,11 @@ func (s *approxHedgeSearcher) nextSortie() (sortie, bool) {
 // NextSegment implements agent.Searcher.
 func (s *approxHedgeSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
 
+// EmitSortie implements agent.SortieEmitter.
+func (s *approxHedgeSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	return s.emitFrom(s, buf)
+}
+
 // NewSearcher implements agent.Algorithm.
 func (a *ApproxHedge) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
 	return &approxHedgeSearcher{rng: rng, candidates: a.candidates, stage: 1, idx: -1}

@@ -126,6 +126,33 @@ func (e *sortieEmitter) expand(so sortie) {
 	}
 }
 
+// emitFrom is the batch counterpart of nextFrom and the shared body of the
+// algorithms' EmitSortie methods: it appends the next sortie's segments to
+// buf, constructing them straight into the caller's buffer instead of
+// staging them through the pending array. Segments still pending from a
+// NextSegment-driven prefix are drained first, so the two pull styles stay
+// coherent even if a caller mixes them mid-sortie.
+func (e *sortieEmitter) emitFrom(src sortieSource, buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	if e.head < e.n {
+		buf = append(buf, e.pending[e.head:e.n]...)
+		e.head = e.n
+		return buf, true
+	}
+	so, ok := src.nextSortie()
+	if !ok {
+		return buf, false
+	}
+	if so.target != grid.Origin {
+		buf = append(buf, trajectory.WalkSeg(grid.Origin, so.target))
+	}
+	spiral := trajectory.SpiralSearchSeg(so.target, so.spiralSteps)
+	buf = append(buf, spiral)
+	if spiral.End() != grid.Origin {
+		buf = append(buf, trajectory.WalkSeg(spiral.End(), grid.Origin))
+	}
+	return buf, true
+}
+
 // expandSortie converts a sortie into its explicit segments as a fresh slice.
 // The engines never call it (they go through sortieEmitter's inline storage);
 // it exists for tests and introspection.
@@ -147,4 +174,14 @@ var (
 	_ agent.Algorithm = (*Uniform)(nil)
 	_ agent.Algorithm = (*Harmonic)(nil)
 	_ agent.Algorithm = (*HarmonicRestart)(nil)
+)
+
+// Every searcher in this package supports batch emission: the analytic engine
+// pulls whole sorties through EmitSortie and never pays a per-segment
+// interface call for these algorithms.
+var (
+	_ agent.SortieEmitter = (*knownKSearcher)(nil)
+	_ agent.SortieEmitter = (*uniformSearcher)(nil)
+	_ agent.SortieEmitter = (*harmonicSearcher)(nil)
+	_ agent.SortieEmitter = (*approxHedgeSearcher)(nil)
 )

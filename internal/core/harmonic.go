@@ -81,6 +81,11 @@ func (s *harmonicSearcher) nextSortie() (sortie, bool) {
 // NextSegment implements agent.Searcher.
 func (s *harmonicSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
 
+// EmitSortie implements agent.SortieEmitter.
+func (s *harmonicSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	return s.emitFrom(s, buf)
+}
+
 // NewSearcher implements agent.Algorithm.
 func (a *Harmonic) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
 	return &harmonicSearcher{rng: rng, delta: a.delta}

@@ -81,6 +81,11 @@ func (s *knownKSearcher) nextSortie() (sortie, bool) {
 // NextSegment implements agent.Searcher.
 func (s *knownKSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
 
+// EmitSortie implements agent.SortieEmitter.
+func (s *knownKSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	return s.emitFrom(s, buf)
+}
+
 // NewSearcher implements agent.Algorithm.
 func (a *KnownK) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
 	return &knownKSearcher{rng: rng, k: a.k, j: 1}

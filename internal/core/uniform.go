@@ -95,6 +95,11 @@ func (s *uniformSearcher) nextSortie() (sortie, bool) {
 // NextSegment implements agent.Searcher.
 func (s *uniformSearcher) NextSegment() (trajectory.Seg, bool) { return s.nextFrom(s) }
 
+// EmitSortie implements agent.SortieEmitter.
+func (s *uniformSearcher) EmitSortie(buf []trajectory.Seg) ([]trajectory.Seg, bool) {
+	return s.emitFrom(s, buf)
+}
+
 // NewSearcher implements agent.Algorithm.
 func (a *Uniform) NewSearcher(rng *xrand.Stream, _ int) agent.Searcher {
 	return &uniformSearcher{rng: rng, epsilon: a.epsilon, j: -1}

@@ -129,3 +129,110 @@ func TestMapError(t *testing.T) {
 		t.Error("partial results should be discarded on error")
 	}
 }
+
+func TestReduceOrderedMergesInIndexOrder(t *testing.T) {
+	t.Parallel()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		const n = 300
+		var got []int
+		err := ReduceOrdered(context.Background(), n, workers, func(i int) (int, error) {
+			// Skew the finish order: later indices tend to finish first.
+			if i%7 == 0 {
+				for j := 0; j < 1000; j++ {
+					_ = j * j
+				}
+			}
+			return i, nil
+		}, func(v int) {
+			got = append(got, v) // merge is serialized by contract: no lock needed
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: merged %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: merge order broken at position %d: got %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestReduceOrderedBoundsInFlightResults(t *testing.T) {
+	t.Parallel()
+
+	const (
+		n       = 400
+		workers = 4
+	)
+	var produced, merged, maxGap atomic.Int64
+	err := ReduceOrdered(context.Background(), n, workers, func(i int) (int, error) {
+		// Make index 0's chain slow so later results pile up against the
+		// window if the bound is broken.
+		if i%workers == 0 {
+			for j := 0; j < 5000; j++ {
+				_ = j * j
+			}
+		}
+		gap := produced.Add(1) - merged.Load()
+		for {
+			old := maxGap.Load()
+			if gap <= old || maxGap.CompareAndSwap(old, gap) {
+				break
+			}
+		}
+		return i, nil
+	}, func(int) {
+		merged.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claims never run more than the window (2*workers) ahead of the merge
+	// frontier, so completed-but-unmerged results are bounded by O(workers),
+	// not O(n).
+	if gap := maxGap.Load(); gap > int64(2*workers) {
+		t.Errorf("observed %d completed-but-unmerged results, want at most the window %d", gap, 2*workers)
+	}
+}
+
+func TestReduceOrderedError(t *testing.T) {
+	t.Parallel()
+
+	sentinel := errors.New("shard failed")
+	var merged atomic.Int64
+	err := ReduceOrdered(context.Background(), 500, 4, func(i int) (int, error) {
+		if i == 41 {
+			return 0, fmt.Errorf("task %d: %w", i, sentinel)
+		}
+		return i, nil
+	}, func(v int) {
+		if v >= 41 {
+			t.Errorf("merged index %d at or past the failing index", v)
+		}
+		merged.Add(1)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the sentinel", err)
+	}
+	if merged.Load() > 41 {
+		t.Errorf("merged %d results, want a prefix strictly below the failing index", merged.Load())
+	}
+}
+
+func TestReduceOrderedContextCancellation(t *testing.T) {
+	t.Parallel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ReduceOrdered(ctx, 50, 4, func(i int) (int, error) { return i, nil }, func(int) {})
+	if err == nil {
+		t.Error("expected an error from the cancelled context")
+	}
+	if err := ReduceOrdered(context.Background(), 0, 4, func(i int) (int, error) { return i, nil }, func(int) {}); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+}

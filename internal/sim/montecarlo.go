@@ -158,10 +158,10 @@ func NewTrialAccumulator(numAgents, distance int) *TrialAccumulator {
 }
 
 // DisableReplay stops the accumulator's Welford halves from recording replay
-// logs. runShard calls it for shards that exceed stats.MergeReplayCap trials
-// — only possible beyond the planner's replay-exact window — where the logs
-// would go incomplete and never be replayed. Must be called before the first
-// Add.
+// logs. The shard planner never produces a shard past stats.MergeReplayCap,
+// so the sweep engine does not need it; it remains for callers that fold more
+// than the cap into one accumulator, where the logs would go incomplete and
+// never be replayed. Must be called before the first Add.
 func (a *TrialAccumulator) DisableReplay() {
 	a.time.DisableReplay()
 	a.allTime.DisableReplay()
@@ -225,11 +225,6 @@ func (a *TrialAccumulator) Stats() TrialStats {
 	}
 }
 
-// maxShards bounds the number of trial shards a Monte-Carlo run is split
-// into, so the number of in-flight shard accumulators — and with it the
-// memory of a run — stays constant no matter how many trials execute.
-const maxShards = 1024
-
 // minShardTrials is the smallest batch of trials worth scheduling as an
 // independent shard: below it the per-shard fixed costs (accumulator
 // construction, engine pool round-trip, task claim) dominate the trials
@@ -248,23 +243,22 @@ func shardRange(trials, numShards, s int) (lo, hi int) {
 // near-equal shards a trial range is split into, batching roughly
 // trials/workers trials per shard with a minimum batch of minShardTrials.
 //
-// Every shard it plans holds at most stats.MergeReplayCap trials, which is
-// what makes the worker count safe to consult: within that bound the shard
-// accumulators and sketches merge by ordered replay (see stats.Accumulator),
-// so the aggregate is a pure function of the per-trial results in trial order
-// and the partition is unobservable — proven by TestTrialStatsPartitionInvariance
-// and TestStreamingShardInvariance. Beyond maxShards * stats.MergeReplayCap
-// trials (2^20) a bounded shard count forces shards past the replay window,
-// the merge degrades to the summary formulas, and partition shape would show
-// up in the last bits of the aggregates; there the planner pins the historical
-// fixed maxShards partition, which depends only on the trial count, keeping
-// results machine- and worker-independent at every scale.
+// Every shard it plans — at every scale — holds at most stats.MergeReplayCap
+// trials. Within that bound the shard accumulators and sketches merge by
+// ordered replay (see stats.Accumulator), so the aggregate is a pure function
+// of the per-trial results in trial order and neither the partition nor the
+// worker count is observable — proven by TestTrialStatsPartitionInvariance
+// and TestStreamingShardInvariance. The shard count is therefore unbounded
+// (about trials / stats.MergeReplayCap for huge runs); bounding memory is the
+// job of the ordered streaming reduce in MonteCarlo, which keeps only
+// O(workers) shard accumulators in flight no matter how many shards the plan
+// produces. (Historically the planner pinned a fixed 1024-shard partition
+// beyond 2^20 trials to keep a materialized []*TrialAccumulator bounded,
+// which pushed those shards past the replay window and degraded their merge
+// to the partition-dependent summary formulas.)
 func planShards(trials, workers int) int {
 	if trials <= minShardTrials {
 		return 1
-	}
-	if trials > maxShards*stats.MergeReplayCap {
-		return maxShards
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -331,12 +325,6 @@ var enginePool = sync.Pool{New: func() any { return new(engine) }}
 // so the per-trial results are independent of the sharding.
 func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi int) (*TrialAccumulator, error) {
 	acc := NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
-	if hi-lo > stats.MergeReplayCap {
-		// An oversized shard (only planned beyond the replay-exact window)
-		// can never be merged by replay; skip recording logs that would go
-		// incomplete anyway.
-		acc.DisableReplay()
-	}
 	e := enginePool.Get().(*engine)
 	defer enginePool.Put(e)
 	inst := Instance{Algorithm: alg, NumAgents: cfg.NumAgents}
@@ -363,16 +351,17 @@ func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi 
 }
 
 // MonteCarlo runs the configured number of independent trials, batched into
-// contiguous shards by planShards, fanned out over goroutines, and aggregated
-// with per-shard streaming accumulators merged in shard order. The
-// aggregation is deterministic: per-trial randomness derives from
-// (seed, trial) alone, and while every shard fits the replay window
-// (trials <= maxShards * stats.MergeReplayCap) the ordered replay merge makes
-// the aggregate a pure function of the per-trial results in trial order —
-// identical bit for bit whatever the worker count or shard plan. Beyond that
-// window the partition is fixed by the trial count, so results remain
-// machine-independent. Memory stays bounded by the shard plan and the sketch
-// cap — no per-trial slice is ever materialized.
+// contiguous shards by planShards, fanned out over goroutines, and folded by
+// an ordered streaming reduce: shard accumulators are merged into the total
+// in strict shard order the moment they become mergeable, with only
+// O(workers) of them in flight (parallel.ReduceOrdered), so memory is
+// independent of the trial count — no per-shard slice, let alone a per-trial
+// one, is ever materialized. The aggregation is deterministic and
+// partition-blind at every scale: per-trial randomness derives from
+// (seed, trial) alone, every planned shard fits the stats.MergeReplayCap
+// replay window, and the ordered replay merge makes the aggregate a pure
+// function of the per-trial results in trial order — identical bit for bit
+// whatever the worker count or shard plan.
 func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return TrialStats{}, err
@@ -383,17 +372,26 @@ func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 	}
 
 	shards := planShards(cfg.Trials, cfg.Workers)
-	accs, err := parallel.Map(ctx, shards, cfg.Workers, func(s int) (*TrialAccumulator, error) {
+	// Merges arrive serialized in shard order, so the first shard's
+	// accumulator is adopted as the running total outright: merging it into
+	// an empty accumulator would replay its complete observation log — the
+	// exact state it already holds — while re-growing every value slice.
+	var total *TrialAccumulator
+	err := parallel.ReduceOrdered(ctx, shards, cfg.Workers, func(s int) (*TrialAccumulator, error) {
 		lo, hi := shardRange(cfg.Trials, shards, s)
 		return runShard(ctx, cfg, alg, lo, hi)
+	}, func(acc *TrialAccumulator) {
+		if total == nil {
+			total = acc
+			return
+		}
+		total.Merge(acc)
 	})
 	if err != nil {
 		return TrialStats{}, fmt.Errorf("sim: monte carlo: %w", err)
 	}
-
-	total := accs[0]
-	for _, acc := range accs[1:] {
-		total.Merge(acc)
+	if total == nil {
+		total = NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
 	}
 	return total.Stats(), nil
 }

@@ -83,15 +83,17 @@ func TestTrialStatsPartitionInvariance(t *testing.T) {
 }
 
 // TestPlanShardsInvariants pins the planner's contract over a spread of
-// (trials, workers) shapes: at least one shard; within the replay-exact
-// window no shard ever exceeds stats.MergeReplayCap trials (the hard bound
-// that keeps the merge order-preserving) and none dips below the minimum
-// batch; beyond the window the partition is fixed regardless of workers.
+// (trials, workers) shapes, including far beyond the historical 2^20-trial
+// fixed-partition regime: at least one shard; no shard ever exceeds
+// stats.MergeReplayCap trials (the hard bound that keeps the merge
+// order-preserving, and what lets MonteCarlo's ordered streaming reduce stay
+// replay-exact at every scale) and none dips below the minimum batch.
 func TestPlanShardsInvariants(t *testing.T) {
 	t.Parallel()
 
 	workersList := []int{0, 1, 2, 3, 4, 8, 32, 256}
-	for _, trials := range []int{1, 7, 8, 9, 12, 63, 64, 100, 1023, 1024, 1025, 5000, 100000, maxShards * stats.MergeReplayCap} {
+	for _, trials := range []int{1, 7, 8, 9, 12, 63, 64, 100, 1023, 1024, 1025, 5000, 100000,
+		1024 * stats.MergeReplayCap, 1024*stats.MergeReplayCap + 1, 5000 * stats.MergeReplayCap} {
 		for _, workers := range workersList {
 			shards := planShards(trials, workers)
 			if shards < 1 {
@@ -123,11 +125,15 @@ func TestPlanShardsInvariants(t *testing.T) {
 			}
 		}
 	}
-	beyond := maxShards*stats.MergeReplayCap + 1
+	// Beyond the historical 1024-shard pin the planner must keep splitting:
+	// enough shards that every one fits the replay window, never a capped
+	// count that would force shards past it.
+	beyond := 1024*stats.MergeReplayCap + 1
 	for _, workers := range workersList {
-		if got := planShards(beyond, workers); got != maxShards {
-			t.Errorf("beyond the replay window: planShards(%d, %d) = %d, want the fixed %d",
-				beyond, workers, got, maxShards)
+		got := planShards(beyond, workers)
+		if wantMin := (beyond + stats.MergeReplayCap - 1) / stats.MergeReplayCap; got < wantMin {
+			t.Errorf("beyond 2^20 trials: planShards(%d, %d) = %d shards, need at least %d to keep every shard replay-exact",
+				beyond, workers, got, wantMin)
 		}
 	}
 }

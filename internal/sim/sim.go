@@ -36,6 +36,7 @@ import (
 
 	"antsearch/internal/agent"
 	"antsearch/internal/grid"
+	"antsearch/internal/trajectory"
 	"antsearch/internal/xrand"
 )
 
@@ -137,12 +138,21 @@ var ErrDiscontinuousTrajectory = errors.New("sim: searcher emitted a discontinuo
 type agentState struct {
 	idx      int
 	searcher agent.Searcher
-	elapsed  int
-	pos      grid.Point
+	// emitter is the searcher's batch view (agent.SortieEmitter), resolved
+	// once per reset; nil when the searcher only supports NextSegment.
+	emitter agent.SortieEmitter
+	elapsed int
+	pos     grid.Point
 	// zeroStreak counts consecutive segments that made no progress in time;
 	// it guards the engine loop against algorithms that emit zero-duration
 	// segments forever.
 	zeroStreak int
+	// segs[segNext:] are segments the searcher has batch-emitted but the
+	// engine has not yet consumed. The storage persists across trials (reset
+	// truncates, never frees), so steady-state refills write into warm
+	// memory without allocating.
+	segs    []trajectory.Seg
+	segNext int
 	// stream is the agent's private randomness, derived from the run seed and
 	// the agent index.
 	stream xrand.Stream
@@ -166,20 +176,29 @@ var ErrNoProgress = errors.New("sim: searcher makes no progress (zero-duration s
 // the Monte-Carlo fan-out gives each shard its own.
 type engine struct {
 	agents []agentState
-	// heap holds agent indices ordered by (elapsed, idx): the engines always
+	// heap orders the live agents by (elapsed, idx): the engines always
 	// advance the agent that is furthest behind in simulated time and
 	// tie-break deterministically. (elapsed, idx) is a strict total order, so
 	// the sequence of advanced agents — and therefore every result — is
 	// independent of the heap's internal layout.
-	heap []int32
+	heap []heapKey
 	// placeRNG is the per-trial treasure-placement stream, reused across a
 	// shard's trials by runShard.
 	placeRNG xrand.Stream
 }
 
-// agentLess is the heap order: (elapsed, idx) ascending.
-func (e *engine) agentLess(i, j int32) bool {
-	a, b := &e.agents[i], &e.agents[j]
+// heapKey is one heap entry: the agent's elapsed time mirrored next to its
+// index, so heap comparisons read the small contiguous heap array instead of
+// chasing pointers into the much larger agentState structs. Only the top
+// entry's elapsed can go stale (the engine loop advances only the top agent),
+// and fixTop refreshes it before sifting.
+type heapKey struct {
+	elapsed int
+	idx     int32
+}
+
+// keyLess is the heap order: (elapsed, idx) ascending.
+func keyLess(a, b heapKey) bool {
 	if a.elapsed != b.elapsed {
 		return a.elapsed < b.elapsed
 	}
@@ -195,10 +214,10 @@ func (e *engine) siftDown(i int) {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && e.agentLess(e.heap[r], e.heap[l]) {
+		if r := l + 1; r < n && keyLess(e.heap[r], e.heap[l]) {
 			m = r
 		}
-		if !e.agentLess(e.heap[m], e.heap[i]) {
+		if !keyLess(e.heap[m], e.heap[i]) {
 			return
 		}
 		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
@@ -216,8 +235,12 @@ func (e *engine) popTop() {
 	}
 }
 
-// fixTop restores the heap property after the top agent's elapsed time grew.
-func (e *engine) fixTop() { e.siftDown(0) }
+// fixTop restores the heap property after the top agent's elapsed time grew
+// to the given value.
+func (e *engine) fixTop(elapsed int) {
+	e.heap[0].elapsed = elapsed
+	e.siftDown(0)
+}
 
 // reset prepares the engine for one trial: every agent back at the source at
 // time zero with a freshly reseeded stream and a new searcher, and the heap
@@ -235,7 +258,7 @@ func (e *engine) reset(in Instance, opts Options, reuser agent.SearcherReuser) {
 		// cannot hand an algorithm a searcher whose stream pointer refers to
 		// the previous slice's storage.
 		e.agents = make([]agentState, in.NumAgents)
-		e.heap = make([]int32, in.NumAgents)
+		e.heap = make([]heapKey, in.NumAgents)
 	}
 	e.agents = e.agents[:in.NumAgents]
 	e.heap = e.heap[:in.NumAgents]
@@ -245,13 +268,16 @@ func (e *engine) reset(in Instance, opts Options, reuser agent.SearcherReuser) {
 		st.elapsed = 0
 		st.pos = grid.Origin
 		st.zeroStreak = 0
+		st.segs = st.segs[:0]
+		st.segNext = 0
 		st.stream.Reset(opts.Seed, uint64(a))
 		if reuser != nil && st.searcher != nil {
 			st.searcher = reuser.ReuseSearcher(st.searcher, &st.stream, a)
 		} else {
 			st.searcher = in.Algorithm.NewSearcher(&st.stream, a)
 		}
-		e.heap[a] = int32(a)
+		st.emitter, _ = st.searcher.(agent.SortieEmitter)
+		e.heap[a] = heapKey{elapsed: 0, idx: int32(a)}
 	}
 }
 
@@ -287,9 +313,7 @@ func RunExact(in Instance, opts Options, visit func(agentIdx, t int, p grid.Poin
 	}
 	var e engine
 	reuser, _ := in.Algorithm.(agent.SearcherReuser)
-	return e.run(in, opts, reuser, func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
-		return advanceExact(st, treasure, budget, visit)
-	})
+	return runLoop(&e, in, opts, reuser, exactAdvancer{visit: visit})
 }
 
 // initialResult seeds the Result for a run: capped at timeCap until some
@@ -304,16 +328,53 @@ func initialResult(in Instance, timeCap int) Result {
 	}
 }
 
-// advanceFunc advances one agent by one segment, observing the exclusive time
-// budget (no times >= budget may be reported as hits).
-type advanceFunc func(st *agentState, treasure grid.Point, budget int) (stepOutcome, error)
+// advancer is the step strategy the shared engine loop is parameterized over.
+// Both implementations are zero-or-tiny structs, so runLoop's instantiations
+// share one gcshape body; the dictionary call only fires when an agent's
+// segment buffer is empty (analytic: once per emitted batch; exact: every
+// step, matching the historical per-segment cost of that engine).
+type advancer interface {
+	advance(st *agentState, treasure grid.Point, budget int) (stepOutcome, error)
+}
 
-// runAnalytic is the monomorphic analytic-engine loop used by Run and
-// runShard: it advances agents through (*agentState).advanceAnalytic by
-// direct call, so the per-segment step costs no function-pointer indirection
-// and the compiler is free to keep the loop state in registers. The body
-// mirrors run below — any semantic change must land in both.
+// analyticAdvancer refills the agent's segment buffer (or falls back to
+// single-segment pulls) and scans with the closed-form queries.
+type analyticAdvancer struct{}
+
+func (analyticAdvancer) advance(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
+	return st.advanceAnalytic(treasure, budget)
+}
+
+// exactAdvancer enumerates every cell of the next segment, reporting each to
+// the visitor.
+type exactAdvancer struct{ visit func(agentIdx, t int, p grid.Point) }
+
+func (a exactAdvancer) advance(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
+	return advanceExact(st, treasure, budget, a.visit)
+}
+
+// runAnalytic is the analytic engine behind Run and runShard.
 func (e *engine) runAnalytic(in Instance, opts Options, reuser agent.SearcherReuser) (Result, error) {
+	return runLoop(e, in, opts, reuser, analyticAdvancer{})
+}
+
+// runLoop is the single engine loop shared by the analytic and exact engines.
+// The hot path is monomorphic: buffered segments (filled by SortieEmitter
+// batch emission) are consumed inline via scanSeg with zero interface or
+// dictionary dispatch, and the generic adv.advance only runs on buffer
+// underflow. Two further properties keep the per-segment cost low:
+//
+//   - the inner loop keeps advancing the same agent while it still strictly
+//     precedes every other live agent, skipping the heap sift exactly when it
+//     would be a no-op and re-select the same agent anyway; the rest of the
+//     heap is frozen during that inner loop, so the key the agent must stay
+//     ahead of — the smaller of the top's at most two children, which bounds
+//     the whole rest of the heap — is loop-invariant and hoisted out;
+//   - the (elapsed, idx) strict total order makes both the skip condition and
+//     the retire conditions exact, so the sequence of (agent, segment) steps —
+//     and therefore every Result bit — is identical to the historical
+//     one-segment-per-heap-round loops this replaces.
+func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.SearcherReuser, adv A) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -323,106 +384,81 @@ func (e *engine) runAnalytic(in Instance, opts Options, reuser agent.SearcherReu
 	e.reset(in, opts, reuser)
 	best := timeCap
 	for len(e.heap) > 0 {
-		st := &e.agents[e.heap[0]]
+		st := &e.agents[e.heap[0].idx]
 		if st.elapsed >= best {
 			// Every remaining agent is already past the best hit time (or
 			// the cap); nothing can improve the answer.
 			break
 		}
-		before := st.elapsed
-		outcome, err := st.advanceAnalytic(in.Treasure, best)
-		if err != nil {
-			return Result{}, fmt.Errorf("agent %d: %w", st.idx, err)
-		}
-		if st.elapsed == before && outcome.hit < 0 && !outcome.finished {
-			st.zeroStreak++
-			if st.zeroStreak > maxZeroStreak {
-				return Result{}, fmt.Errorf("agent %d: %w", st.idx, ErrNoProgress)
+		// (restElapsed, restIdx) is the smallest key among the other live
+		// agents — the point up to which the top agent may keep advancing
+		// without any heap operation. Those agents do not move while the top
+		// advances, so the bound is loop-invariant: the smaller of the top's
+		// at most two children bounds the whole rest of the heap. MaxInt
+		// means there are no other agents.
+		restElapsed, restIdx := math.MaxInt, int32(0)
+		if n := len(e.heap); n > 1 {
+			m := e.heap[1]
+			if n > 2 && keyLess(e.heap[2], m) {
+				m = e.heap[2]
 			}
-		} else {
-			st.zeroStreak = 0
+			restElapsed, restIdx = m.elapsed, m.idx
 		}
-		if outcome.hit >= 0 && (outcome.hit < best || (outcome.hit == best && !res.Found)) {
-			best = outcome.hit
-			res.Found = true
-			res.Capped = false
-			res.Finder = st.idx
-			res.Time = outcome.hit
+		for {
+			var outcome stepOutcome
+			var err error
+			if st.segNext < len(st.segs) {
+				seg := st.segs[st.segNext]
+				st.segNext++
+				outcome, err = st.scanSeg(seg, in.Treasure, best)
+			} else {
+				outcome, err = adv.advance(st, in.Treasure, best)
+			}
+			if err != nil {
+				// Includes ErrNoProgress: the zero-streak guard lives in the
+				// advance leaves, which see segment durations for free.
+				return Result{}, fmt.Errorf("agent %d: %w", st.idx, err)
+			}
+			if outcome.hit >= 0 && (outcome.hit < best || (outcome.hit == best && !res.Found)) {
+				best = outcome.hit
+				res.Found = true
+				res.Capped = false
+				res.Finder = st.idx
+				res.Time = outcome.hit
+			}
+			if outcome.finished || outcome.hit >= 0 || st.elapsed >= best {
+				e.popTop()
+				break
+			}
+			if st.elapsed > restElapsed || (st.elapsed == restElapsed && int32(st.idx) > restIdx) {
+				e.fixTop(st.elapsed)
+				break
+			}
+			// The top agent still precedes everyone else: the sift would be a
+			// no-op and the next round would pick it again, so keep going.
 		}
-		if outcome.finished || outcome.hit >= 0 || st.elapsed >= best {
-			e.popTop()
-			continue
-		}
-		e.fixTop()
 	}
 	return res, nil
 }
 
-// run is the generic engine loop, kept for RunExact and other visitor-style
-// advances; the analytic hot path uses the specialized runAnalytic instead.
-// The body mirrors runAnalytic — any semantic change must land in both.
-func (e *engine) run(in Instance, opts Options, reuser agent.SearcherReuser, advance advanceFunc) (Result, error) {
-	if err := in.Validate(); err != nil {
-		return Result{}, err
-	}
-	timeCap := opts.maxTime()
-	res := initialResult(in, timeCap)
-
-	e.reset(in, opts, reuser)
-	best := timeCap
-	for len(e.heap) > 0 {
-		st := &e.agents[e.heap[0]]
-		if st.elapsed >= best {
-			// Every remaining agent is already past the best hit time (or
-			// the cap); nothing can improve the answer.
-			break
-		}
-		before := st.elapsed
-		outcome, err := advance(st, in.Treasure, best)
-		if err != nil {
-			return Result{}, fmt.Errorf("agent %d: %w", st.idx, err)
-		}
-		if st.elapsed == before && outcome.hit < 0 && !outcome.finished {
-			st.zeroStreak++
-			if st.zeroStreak > maxZeroStreak {
-				return Result{}, fmt.Errorf("agent %d: %w", st.idx, ErrNoProgress)
-			}
-		} else {
-			st.zeroStreak = 0
-		}
-		if outcome.hit >= 0 && (outcome.hit < best || (outcome.hit == best && !res.Found)) {
-			best = outcome.hit
-			res.Found = true
-			res.Capped = false
-			res.Finder = st.idx
-			res.Time = outcome.hit
-		}
-		if outcome.finished || outcome.hit >= 0 || st.elapsed >= best {
-			e.popTop()
-			continue
-		}
-		e.fixTop()
-	}
-	return res, nil
-}
-
-// advanceAnalytic advances the agent by one segment using the segment's
+// scanSeg folds one segment into the agent's state using the segment's
 // closed-form queries, fused into a single kind dispatch (trajectory.Seg.Scan)
-// so the step performs one switch per segment instead of four. It is the
-// statically dispatched body of the analytic hot path; the semantics are
-// identical to the historical free function that ran behind the advanceFunc
-// pointer.
-func (st *agentState) advanceAnalytic(treasure grid.Point, budget int) (stepOutcome, error) {
-	seg, ok := st.searcher.NextSegment()
-	if !ok {
-		return stepOutcome{hit: -1, finished: true}, nil
-	}
+// so the step performs one switch per segment instead of four. The budget is
+// exclusive: no times >= budget may be reported as hits.
+//
+// The zero-streak guard lives here — the leaf that already knows the segment
+// duration — rather than in the engine loop, which would have to save and
+// compare elapsed around every step to detect the same condition. All other
+// exits make progress (a hit, or elapsed strictly growing to the budget or by
+// the duration), so only the zero-duration advance can extend a streak.
+func (st *agentState) scanSeg(seg trajectory.Seg, treasure grid.Point, budget int) (stepOutcome, error) {
 	start, end, duration, off, found := seg.Scan(treasure)
 	if start != st.pos {
 		return stepOutcome{}, fmt.Errorf("%w: segment %v starts at %v, agent is at %v",
 			ErrDiscontinuousTrajectory, seg, start, st.pos)
 	}
 	if found {
+		st.zeroStreak = 0
 		if t := st.elapsed + off; t < budget {
 			return stepOutcome{hit: t}, nil
 		}
@@ -433,13 +469,68 @@ func (st *agentState) advanceAnalytic(treasure grid.Point, budget int) (stepOutc
 	}
 	if duration > budget-st.elapsed {
 		// The segment alone overshoots the budget; saturate rather than
-		// overflow the elapsed counter.
+		// overflow the elapsed counter. The engine loop only steps agents with
+		// elapsed < budget, so this is strict progress.
+		st.zeroStreak = 0
 		st.elapsed = budget
 		return stepOutcome{hit: -1}, nil
+	}
+	if duration == 0 {
+		st.zeroStreak++
+		if st.zeroStreak > maxZeroStreak {
+			return stepOutcome{}, ErrNoProgress
+		}
+	} else {
+		st.zeroStreak = 0
 	}
 	st.elapsed += duration
 	st.pos = end
 	return stepOutcome{hit: -1}, nil
+}
+
+// advanceAnalytic advances the agent by one segment. Batch-aware searchers
+// (agent.SortieEmitter) refill the agent's buffer a sortie at a time, so one
+// interface call amortizes over the whole batch and the engine loop consumes
+// the rest monomorphically; everything else falls back to one NextSegment
+// pull. A batch-emitted segment sequence is, by the SortieEmitter contract,
+// exactly what NextSegment would have produced with the same randomness, so
+// buffering does not change a single engine decision.
+func (st *agentState) advanceAnalytic(treasure grid.Point, budget int) (stepOutcome, error) {
+	if st.segNext < len(st.segs) {
+		// Defensive: runLoop drains the buffer before calling advance, but
+		// keep the invariant local so advanceAnalytic is correct standalone.
+		seg := st.segs[st.segNext]
+		st.segNext++
+		return st.scanSeg(seg, treasure, budget)
+	}
+	var seg trajectory.Seg
+	if st.emitter != nil {
+		segs, ok := st.emitter.EmitSortie(st.segs[:0])
+		st.segs = segs
+		st.segNext = 0
+		if !ok {
+			return stepOutcome{hit: -1, finished: true}, nil
+		}
+		if len(segs) == 0 {
+			// An emitter that reports ok without appending violates the
+			// contract; treat it as an empty step so the zero-streak guard
+			// catches a persistent offender instead of the engine spinning.
+			st.zeroStreak++
+			if st.zeroStreak > maxZeroStreak {
+				return stepOutcome{}, ErrNoProgress
+			}
+			return stepOutcome{hit: -1}, nil
+		}
+		seg = segs[0]
+		st.segNext = 1
+	} else {
+		var ok bool
+		seg, ok = st.searcher.NextSegment()
+		if !ok {
+			return stepOutcome{hit: -1, finished: true}, nil
+		}
+	}
+	return st.scanSeg(seg, treasure, budget)
 }
 
 // advanceExact advances one agent by one segment, enumerating every cell and
@@ -479,11 +570,23 @@ func advanceExact(st *agentState, treasure grid.Point, budget int,
 		return true
 	})
 	if hit >= 0 {
+		st.zeroStreak = 0
 		return stepOutcome{hit: hit}, nil
 	}
 	if truncated || seg.Duration() > budget-st.elapsed {
+		st.zeroStreak = 0
 		st.elapsed = budget
 		return stepOutcome{hit: -1}, nil
+	}
+	// The zero-streak guard mirrors scanSeg: only a zero-duration segment
+	// leaves elapsed unchanged and can extend a streak.
+	if seg.Duration() == 0 {
+		st.zeroStreak++
+		if st.zeroStreak > maxZeroStreak {
+			return stepOutcome{}, ErrNoProgress
+		}
+	} else {
+		st.zeroStreak = 0
 	}
 	st.elapsed += seg.Duration()
 	st.pos = seg.End()

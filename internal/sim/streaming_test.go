@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"antsearch/internal/adversary"
+	"antsearch/internal/baseline"
 	"antsearch/internal/core"
 	"antsearch/internal/stats"
 )
@@ -105,7 +106,7 @@ func TestStreamingLargeRunStaysBounded(t *testing.T) {
 		Factory:   core.Factory(),
 		NumAgents: 4,
 		Adversary: adversary.Axis{D: 4},
-		Trials:    5000, // > maxShards and > the exact sketch cap
+		Trials:    5000, // several shards per worker and > the exact sketch cap
 		Seed:      9,
 		MaxTime:   400,
 	}
@@ -177,6 +178,56 @@ func TestStreamingShardInvariance(t *testing.T) {
 				t.Errorf("trials=%d: stats with %d workers differ from 1 worker:\n%+v\nvs\n%+v",
 					trials, workers, st, first)
 			}
+		}
+	}
+}
+
+// TestStreamingBeyondReplayPinWorkerInvariance crosses the 2^20-trial
+// boundary where the planner historically pinned a fixed 1024-shard partition
+// (forcing shards past the replay window and the merge onto the
+// partition-dependent summary formulas). With the ordered streaming reduce
+// the plan exceeds 1024 shards, every shard stays replay-exact, and the
+// aggregate must be bit-identical across worker counts even at this scale.
+// The single-spiral baseline with one agent and a tiny cap keeps the >10^6
+// engine runs cheap: the deterministic searcher either hits the near treasure
+// on the first spiral arm or parks at the cap within a few segments.
+func TestStreamingBeyondReplayPinWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("million-trial streaming run")
+	}
+
+	trials := 1024*stats.MergeReplayCap + 3
+	if planShards(trials, 1) <= 1024 {
+		t.Fatalf("planShards(%d, 1) = %d, expected the plan to exceed the historical 1024-shard pin",
+			trials, planShards(trials, 1))
+	}
+	base := TrialConfig{
+		Factory:   baseline.SingleSpiralFactory(),
+		NumAgents: 1,
+		Adversary: adversary.Axis{D: 2},
+		Trials:    trials,
+		Seed:      17,
+		MaxTime:   64,
+	}
+	var first TrialStats
+	for i, workers := range []int{1, 3} {
+		cfg := base
+		cfg.Workers = workers
+		st, err := MonteCarlo(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Trials != trials {
+			t.Fatalf("workers=%d: aggregated %d trials, want %d", workers, st.Trials, trials)
+		}
+		if i == 0 {
+			first = st
+			continue
+		}
+		if !reflect.DeepEqual(st, first) {
+			t.Errorf("stats with %d workers differ from 1 worker beyond the replay pin:\n%+v\nvs\n%+v",
+				workers, st, first)
 		}
 	}
 }
