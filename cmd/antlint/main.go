@@ -1,0 +1,80 @@
+// Command antlint runs the repository's static-contract analyzers (see
+// internal/lint and DESIGN.md §9) over the given package patterns:
+//
+//	go run ./cmd/antlint ./...
+//
+// It prints one line per finding in go-vet format and exits non-zero when
+// anything is found, so it slots directly into CI. The suite enforces the
+// engine's determinism contract (detrand, maporder), the wire-schema
+// contract (wiretag) and the hot-path/locking contracts (hotpath, lockio).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"antsearch/internal/lint"
+	"antsearch/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: antlint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n             "))
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antlint:", err)
+		os.Exit(2)
+	}
+	loader := load.New(moduleDir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.RunAnalyzers(pkgs, lint.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "antlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "antlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot locates the enclosing module's directory.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("locating module root: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("antlint must run inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}

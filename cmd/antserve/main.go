@@ -409,6 +409,8 @@ func (r sweepRequest) grid() scenario.Grid {
 // explicitly in every row, or clients that re-key results by coordinates see
 // ambiguous rows. Only Stats and Error — which genuinely distinguish result
 // rows from the terminating error row — are elided when absent.
+//
+//antlint:wire
 type sweepRow struct {
 	Index    int             `json:"index"`
 	Scenario string          `json:"scenario"`
@@ -418,7 +420,7 @@ type sweepRow struct {
 	Seed     uint64          `json:"seed"`
 	Cached   bool            `json:"cached"`
 	Stats    *sim.TrialStats `json:"stats,omitempty"`
-	Error    string          `json:"error,omitempty"`
+	Error    string          `json:"error,omitempty"` //antlint:allow wiretag an absent error field is the row-is-a-result signal
 }
 
 // cellResult pairs a computed aggregate with its cache disposition.

@@ -108,6 +108,11 @@ type Stats struct {
 // fingerprints, with singleflight collapsing. The zero value is not usable;
 // construct with New.
 type Cache struct {
+	// mu guards every field below. The lockio marker bans blocking I/O while
+	// it is held: store writes happen off-lock via the write-behind in Do
+	// (PR 5's contract), so a sweep never stalls behind the disk.
+	//
+	//antlint:lockio
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used

@@ -40,7 +40,12 @@ type Store interface {
 	// entries last (so replaying emits in order reconstructs recency).
 	// Entries written by a different schema version are silently skipped.
 	Load(emit func(Entry)) error
-	// Append durably records one computed entry (the write-behind path).
+	// Append durably records one computed entry (the write-behind path). It
+	// blocks on disk, so callers must never invoke it under Cache.mu — the
+	// blocking marker lets the lockio analyzer enforce that through the
+	// interface.
+	//
+	//antlint:blocking
 	Append(Entry) error
 	// Snapshot atomically replaces the persisted state with exactly the
 	// given entries, oldest first, and discards the append log (compaction).
@@ -51,7 +56,11 @@ type Store interface {
 	Close() error
 }
 
-// record is the NDJSON wire form of one persisted entry.
+// record is the NDJSON wire form of one persisted entry. The wire marker
+// forbids omitempty on its value fields: a restart must round-trip every
+// entry exactly, including legal zero-valued aggregates.
+//
+//antlint:wire
 type record struct {
 	SchemaVersion int            `json:"schema_version"`
 	Key           Key            `json:"key"`
@@ -186,6 +195,8 @@ func (s *DiskStore) Skipped() int {
 
 // Append implements Store: one marshalled record, one line, one write — and,
 // with DiskStoreOptions.FsyncAppends, one flush before the acknowledgement.
+//
+//antlint:blocking
 func (s *DiskStore) Append(e Entry) error {
 	line, err := json.Marshal(record{SchemaVersion: StoreSchemaVersion, Key: e.Key, Stats: e.Stats})
 	if err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"antsearch/internal/scenario"
 	"antsearch/internal/stats"
@@ -81,9 +82,17 @@ func runE1(ctx context.Context, cfg Config) (*Outcome, error) {
 		"max ratio %.2f (theorem predicts an absolute constant; implementation constant ≈ 8)", maxRatio)
 
 	// The ratio must not drift upward with D for any fixed k: compare the
-	// largest-D ratio against the smallest-D ratio.
+	// largest-D ratio against the smallest-D ratio. Iterate ks in sorted
+	// order — a failed check appends to the experiment output, and map
+	// order would make the emitted check sequence differ between runs.
+	ks := make([]int, 0, len(ratioByK))
+	for k := range ratioByK { //antlint:allow maporder keys are sorted before use below
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
 	flat := true
-	for k, ratios := range ratioByK {
+	for _, k := range ks {
+		ratios := ratioByK[k]
 		first, last := ratios[0], ratios[len(ratios)-1]
 		if last > 3*first+1 {
 			flat = false

@@ -1,0 +1,61 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that the antlint suite needs.
+//
+// The repository's build environment is hermetic — no module proxy, no
+// vendored third-party code — so the real x/tools framework is not
+// importable. The analyzers in internal/lint are written against this
+// package instead; the types are deliberately field-for-field compatible
+// with their x/tools namesakes (Analyzer.Name/Doc/Run, Pass.Fset/Files/
+// Pkg/TypesInfo/Report, Diagnostic.Pos/Message), so porting the suite onto
+// the upstream framework, should the dependency ever become available, is a
+// one-line import change per file.
+//
+// Only the pieces antlint uses exist: there are no Facts, no Requires graph
+// and no suggested fixes. Each analyzer is a pure function of one package's
+// syntax and types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's identifier: lower-case, no spaces. It names the
+	// analyzer in diagnostics and is the argument //antlint:allow directives
+	// use to target a suppression.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one analyzer and one package being analyzed.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps positions in Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's facts about Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,207 @@
+// Package analysistest runs an antlint analyzer over GOPATH-style fixture
+// packages (testdata/src/<importpath>) and checks the diagnostics it reports
+// against // want comments in the fixture source, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repository's stdlib-only
+// load layer.
+//
+// Expectations are comments of the form
+//
+//	code() // want `regexp` "second regexp"
+//
+// attached to the line the diagnostic is reported on; each quoted pattern
+// must match one diagnostic on that line (substring semantics, as in go
+// vet's harness). When the diagnostic lands on a line the want comment
+// cannot share — a diagnostic about a directive comment, which swallows the
+// rest of its line — the comment states the offset explicitly:
+//
+//	//antlint:nonsense
+//	// want[-1] `unknown antlint directive`
+//
+// matches one line above the comment.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"antsearch/internal/lint/analysis"
+	"antsearch/internal/lint/load"
+)
+
+// TestData returns the calling test's testdata directory as an absolute
+// path (tests run in their package directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return dir
+}
+
+// expectation is one parsed want pattern: a diagnostic matching re must be
+// reported at file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// diagnostic is one reported diagnostic, positioned for matching.
+type diagnostic struct {
+	file    string
+	line    int
+	message string
+	matched bool
+}
+
+// Run loads the named fixture packages from testdata/src (test files
+// included), applies the analyzer to each, and reports every mismatch
+// between its diagnostics and the fixtures' want comments as a test error:
+// a diagnostic no want expects, or a want no diagnostic satisfies.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := load.New(moduleRoot(t, testdata), filepath.Join(testdata, "src"))
+	loader.IncludeTests = true
+	pkgs, err := loader.Load(paths...)
+	if err != nil {
+		t.Fatalf("analysistest: loading %v: %v", paths, err)
+	}
+	if len(pkgs) != len(paths) {
+		t.Fatalf("analysistest: loaded %d packages for %d paths %v", len(pkgs), len(paths), paths)
+	}
+
+	var diags []diagnostic
+	var wants []expectation
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			p := pkg.Fset.Position(d.Pos)
+			diags = append(diags, diagnostic{file: p.Filename, line: p.Line, message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, file := range pkg.Files {
+			wants = append(wants, parseWants(t, pkg.Fset, file)...)
+		}
+	}
+
+	for di := range diags {
+		d := &diags[di]
+		for wi := range wants {
+			w := &wants[wi]
+			if !w.matched && w.file == d.file && w.line == d.line && w.re.MatchString(d.message) {
+				w.matched, d.matched = true, true
+				break
+			}
+		}
+	}
+	for _, d := range diags {
+		if !d.matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts the want expectations from one file's comments.
+func parseWants(t *testing.T, fset *token.FileSet, file *ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			body, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // want comments are line comments only
+			}
+			offset, rest, ok := cutWant(strings.TrimSpace(body))
+			if !ok {
+				continue
+			}
+			p := fset.Position(c.Pos())
+			for rest != "" {
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Errorf("%s: malformed want pattern %q (need a quoted or backquoted regexp)", p, rest)
+					break
+				}
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Errorf("%s: unquoting want pattern %s: %v", p, q, err)
+					break
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s: want pattern %q does not compile: %v", p, pat, err)
+					break
+				}
+				wants = append(wants, expectation{
+					file: p.Filename, line: p.Line + offset, pattern: pat, re: re,
+				})
+				rest = strings.TrimSpace(rest[len(q):])
+			}
+		}
+	}
+	return wants
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod, which the loader
+// needs to resolve the stdlib imports fixtures make (fmt, os, sync, ...)
+// from compiler export data.
+func moduleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	d := dir
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("analysistest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// cutWant splits a comment body into the optional line offset and the
+// pattern list, or reports that the comment is not a want comment.
+func cutWant(body string) (offset int, rest string, ok bool) {
+	rest, found := strings.CutPrefix(body, "want")
+	if !found {
+		return 0, "", false
+	}
+	if strings.HasPrefix(rest, "[") {
+		end := strings.Index(rest, "]")
+		if end < 0 {
+			return 0, "", false
+		}
+		n, err := strconv.Atoi(rest[1:end])
+		if err != nil {
+			return 0, "", false
+		}
+		offset, rest = n, rest[end+1:]
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return 0, "", false // a word merely starting with "want"
+	}
+	return offset, strings.TrimSpace(rest), true
+}

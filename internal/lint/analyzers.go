@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"antsearch/internal/lint/analysis"
+	"antsearch/internal/lint/load"
+)
+
+// Analyzers is the antlint suite, in reporting order. cmd/antlint runs all
+// of them; the self-check test runs them over this repository itself.
+var Analyzers = []*analysis.Analyzer{Detrand, MapOrder, WireTag, HotPath, LockIO}
+
+// analyzerNameList mirrors Analyzers by name. It is a separate literal —
+// not derived from Analyzers — because the directive parser consults it from
+// inside the analyzers' Run closures, which would otherwise form an
+// initialization cycle; TestAnalyzerNameListMatchesRegistry pins the two
+// against drift.
+var analyzerNameList = []string{"detrand", "maporder", "wiretag", "hotpath", "lockio"}
+
+// knownAnalyzer reports whether name names a suite analyzer (the validity
+// check for //antlint:allow targets).
+func knownAnalyzer(name string) bool {
+	for _, n := range analyzerNameList {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzerNames lists the suite's analyzer names.
+func analyzerNames() []string {
+	return analyzerNameList
+}
+
+// Finding is one diagnostic, tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	// Position is the rendered file:line:col.
+	Position string
+	Message  string
+}
+
+// String renders the finding the way go vet renders diagnostics.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every given analyzer to every package and returns the
+// findings sorted by position then analyzer.
+func RunAnalyzers(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Position: pkg.Fset.Position(d.Pos).String(),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Position != findings[j].Position {
+			return findings[i].Position < findings[j].Position
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

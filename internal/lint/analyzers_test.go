@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"testing"
+
+	"antsearch/internal/lint/analysistest"
+)
+
+// TestAnalyzerNameListMatchesRegistry pins the static name list (which the
+// directive parser consults to validate //antlint:allow targets without
+// forming an initialization cycle) against the analyzer registry itself.
+func TestAnalyzerNameListMatchesRegistry(t *testing.T) {
+	if len(analyzerNameList) != len(Analyzers) {
+		t.Fatalf("analyzerNameList has %d names, Analyzers has %d entries; keep them in lockstep",
+			len(analyzerNameList), len(Analyzers))
+	}
+	for i, a := range Analyzers {
+		if a.Name != analyzerNameList[i] {
+			t.Errorf("Analyzers[%d] is %q but analyzerNameList[%d] is %q", i, a.Name, i, analyzerNameList[i])
+		}
+	}
+}
+
+// TestDetrand proves the seeded regression of the determinism contract: a
+// math/rand import or a time.Now call inside a guarded engine package is a
+// finding, while the same code outside the guarded paths is not.
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Detrand, "antsearch/internal/sim", "plain")
+}
+
+// TestDirectiveHygiene proves malformed directives are diagnostics, not
+// silently widened or narrowed suppressions (reported by the suite's anchor).
+func TestDirectiveHygiene(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Detrand, "directives")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), MapOrder, "maporder")
+}
+
+// TestWireTag proves the seeded regression of the wire-schema contract:
+// re-introducing omitempty on a zero-legal coordinate of a marked row struct
+// is a finding.
+func TestWireTag(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), WireTag, "wiretag")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), HotPath, "hotpath")
+}
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), LockIO, "lockio")
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// DetrandPackages are the import paths whose code feeds simulation results
+// and therefore must contain no ambient randomness or wall-clock reads: a
+// trial is a pure function of (scenario, params, seed), which is the whole
+// basis of the sweep cache, the durable store and cross-worker bit-identity.
+// internal/xrand is on the list on purpose — it is the one place allowed to
+// touch math/rand/v2, and each of its parity shims carries an explicit,
+// auditable //antlint:allow.
+var DetrandPackages = []string{
+	"antsearch/internal/sim",
+	"antsearch/internal/agent",
+	"antsearch/internal/core",
+	"antsearch/internal/baseline",
+	"antsearch/internal/scenario",
+	"antsearch/internal/stats",
+	"antsearch/internal/trajectory",
+	"antsearch/internal/grid",
+	"antsearch/internal/xrand",
+}
+
+// detrandImports are the packages whose import into engine code is a
+// determinism hazard: stdlib RNGs are seeded ambiently (or, for crypto/rand,
+// are nondeterministic by design), so any value they produce breaks replay.
+var detrandImports = map[string]string{
+	"math/rand":    "ambiently seeded RNG",
+	"math/rand/v2": "ambiently seeded RNG",
+	"crypto/rand":  "nondeterministic RNG",
+}
+
+// detrandTimeFuncs are the time-package reads that leak the wall clock into
+// whatever consumes them. Since and Until are Now in disguise.
+var detrandTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Detrand forbids nondeterminism sources inside the engine packages.
+//
+// It is also the suite's anchor: it validates directive syntax (unknown
+// verbs, malformed or reasonless //antlint:allow) in every package it sees,
+// so a typo in a suppression is a diagnostic rather than a silently widened
+// exemption.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand, crypto/rand and time.Now in the deterministic engine packages;\n" +
+		"every trial must be a pure function of (scenario, params, seed)",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *analysis.Pass) (any, error) {
+	dirs := ParseDirectives(pass, true) // detrand owns directive-syntax hygiene
+	if !detrandGuarded(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			why, banned := detrandImports[path]
+			if !banned || dirs.Allowed(pass.Analyzer.Name, imp.Pos()) {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import of %s (%s) in deterministic engine package %s; derive randomness from internal/xrand streams", path, why, pass.Pkg.Path())
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !detrandTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if !dirs.Allowed(pass.Analyzer.Name, sel.Pos()) {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in deterministic engine package %s; results may never depend on real time", sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// detrandGuarded reports whether the package is under the determinism
+// contract. _test packages of guarded packages share the import path and are
+// guarded too when test files are loaded.
+func detrandGuarded(path string) bool {
+	for _, p := range DetrandPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+// Package lint is antlint: the static-analysis suite that machine-checks the
+// contracts the engine's bit-identical-results guarantee rests on. Each
+// analyzer pins one invariant that previously lived only in golden tests or
+// hazard comments; cmd/antlint runs them all, and the self-check test keeps
+// `go test ./...` failing whenever the tree violates its own contracts. See
+// DESIGN.md §9 for the catalogue.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// Directive verbs. Directives are machine-readable comments of the form
+//
+//	//antlint:<verb> [args...]
+//
+// written exactly like //go: directives (no space after //). They are the
+// one shared vocabulary of the suite, parsed in this file only:
+//
+//	//antlint:allow <analyzer> [reason...]  — suppress that analyzer's
+//	    diagnostics on this line and the next (so the directive works both
+//	    as a trailing comment and on its own line above the construct);
+//	    a reason is required: a suppression nobody can audit is a hazard.
+//	//antlint:wire          — marks a struct type whose JSON form is a wire
+//	    commitment; checked by wiretag.
+//	//antlint:hotpath       — marks a function that must stay free of
+//	    dynamic dispatch and allocation; checked by hotpath.
+//	//antlint:lockio        — marks a sync.Mutex/RWMutex struct field that
+//	    must never be held across blocking I/O; checked by lockio.
+//	//antlint:blocking      — marks a method (declaration or interface
+//	    method) that performs blocking I/O, extending lockio's reach beyond
+//	    the os.File operations it knows intrinsically.
+const (
+	VerbAllow    = "allow"
+	VerbWire     = "wire"
+	VerbHotpath  = "hotpath"
+	VerbLockIO   = "lockio"
+	VerbBlocking = "blocking"
+)
+
+// directivePrefix introduces every antlint directive comment.
+const directivePrefix = "//antlint:"
+
+// Directive is one parsed //antlint: comment.
+type Directive struct {
+	Verb string
+	// Args are the whitespace-separated tokens after the verb. For allow,
+	// Args[0] is the target analyzer and the rest is the reason.
+	Args []string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+// Directives is the per-package directive index: every parsed directive,
+// plus the marker lookups analyzers use.
+type Directives struct {
+	fset *token.FileSet
+	all  []Directive
+	// allow maps analyzer name -> set of line numbers (per file) where its
+	// diagnostics are suppressed.
+	allow map[string]map[lineKey]bool
+	// marked maps verb -> set of lines carrying that marker, used to attach
+	// wire/hotpath/lockio/blocking markers to the declaration that follows
+	// (or shares) the directive's line.
+	marked map[string]map[lineKey]Directive
+}
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// ParseDirectives scans every comment of the pass's files. Malformed
+// directives (unknown verb, allow without an analyzer or reason, allow of an
+// unknown analyzer) are themselves diagnostics — a typo in a suppression
+// must not silently widen it — but they are reported by exactly one analyzer
+// (detrand, the suite's anchor, which runs on every package) so the
+// multichecker does not repeat them five times. Callers that own a marker
+// verb report its placement errors themselves (see CheckMarkers).
+func ParseDirectives(pass *analysis.Pass, reportSyntax bool) *Directives {
+	d := &Directives{
+		fset:   pass.Fset,
+		allow:  make(map[string]map[lineKey]bool),
+		marked: make(map[string]map[lineKey]Directive),
+	}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					if reportSyntax {
+						pass.Reportf(c.Pos(), "malformed antlint directive: missing verb")
+					}
+					continue
+				}
+				dir := Directive{Verb: fields[0], Args: fields[1:], Pos: c.Pos()}
+				d.all = append(d.all, dir)
+				switch dir.Verb {
+				case VerbAllow:
+					d.addAllow(pass, dir, reportSyntax)
+				case VerbWire, VerbHotpath, VerbLockIO, VerbBlocking:
+					d.addMarker(pass, dir, reportSyntax)
+				default:
+					if reportSyntax {
+						pass.Reportf(dir.Pos, "unknown antlint directive %q (known: allow, wire, hotpath, lockio, blocking)", dir.Verb)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// addAllow validates and indexes one allow directive.
+func (d *Directives) addAllow(pass *analysis.Pass, dir Directive, report bool) {
+	if len(dir.Args) == 0 {
+		if report {
+			pass.Reportf(dir.Pos, "antlint:allow needs an analyzer name and a reason, e.g. //antlint:allow detrand parity shim")
+		}
+		return
+	}
+	name := dir.Args[0]
+	if !knownAnalyzer(name) {
+		if report {
+			pass.Reportf(dir.Pos, "antlint:allow targets unknown analyzer %q (known: %s)", name, strings.Join(analyzerNames(), ", "))
+		}
+		return
+	}
+	if len(dir.Args) < 2 {
+		if report {
+			pass.Reportf(dir.Pos, "antlint:allow %s needs a reason: an unexplained suppression cannot be audited", name)
+		}
+		return
+	}
+	set := d.allow[name]
+	if set == nil {
+		set = make(map[lineKey]bool)
+		d.allow[name] = set
+	}
+	p := d.fset.Position(dir.Pos)
+	// The suppression covers the directive's own line (trailing comment)
+	// and the next (directive on its own line above the construct).
+	set[lineKey{p.Filename, p.Line}] = true
+	set[lineKey{p.Filename, p.Line + 1}] = true
+}
+
+// addMarker validates arity and indexes one marker directive by line.
+func (d *Directives) addMarker(pass *analysis.Pass, dir Directive, report bool) {
+	if len(dir.Args) > 0 {
+		if report {
+			pass.Reportf(dir.Pos, "antlint:%s takes no arguments", dir.Verb)
+		}
+		return
+	}
+	set := d.marked[dir.Verb]
+	if set == nil {
+		set = make(map[lineKey]Directive)
+		d.marked[dir.Verb] = set
+	}
+	p := d.fset.Position(dir.Pos)
+	for _, line := range []int{p.Line, p.Line + 1} {
+		if prev, dup := set[lineKey{p.Filename, line}]; dup {
+			// Two copies of one marker covering the same declaration: the
+			// second is at best noise and at worst a merge artifact.
+			if report {
+				pass.Reportf(dir.Pos, "duplicate antlint:%s marker (already given at %s)", dir.Verb, d.fset.Position(prev.Pos))
+			}
+			return
+		}
+	}
+	set[lineKey{p.Filename, p.Line}] = dir
+	set[lineKey{p.Filename, p.Line + 1}] = dir
+}
+
+// Allowed reports whether diagnostics of the named analyzer are suppressed
+// at pos.
+func (d *Directives) Allowed(analyzer string, pos token.Pos) bool {
+	set := d.allow[analyzer]
+	if set == nil {
+		return false
+	}
+	p := d.fset.Position(pos)
+	return set[lineKey{p.Filename, p.Line}]
+}
+
+// markerAt returns the marker directive of the given verb covering the line
+// of pos (the marker's own line or the one after it), if any.
+func (d *Directives) markerAt(verb string, pos token.Pos) (Directive, bool) {
+	set := d.marked[verb]
+	if set == nil {
+		return Directive{}, false
+	}
+	p := d.fset.Position(pos)
+	dir, ok := set[lineKey{p.Filename, p.Line}]
+	return dir, ok
+}
+
+// Marked reports whether the node starting at pos carries the given marker:
+// the directive is a trailing comment on the node's first line or sits on
+// the line directly above it (conventionally the last line of the doc
+// comment, like //go:noinline).
+func (d *Directives) Marked(verb string, node ast.Node) bool {
+	_, ok := d.markerAt(verb, node.Pos())
+	return ok
+}
+
+// CheckMarkers reports every marker of the given verb that is not attached
+// to a node satisfying ok — a marker on the wrong kind of declaration
+// protects nothing, which must be a diagnostic, not silence. attached is the
+// set of directives that some valid node claimed (built by the analyzer as
+// it walks); the analyzer owning the verb calls this once per pass.
+func (d *Directives) CheckMarkers(pass *analysis.Pass, verb, wants string, attached map[token.Pos]bool) {
+	for _, dir := range d.all {
+		if dir.Verb != verb || len(dir.Args) > 0 {
+			continue
+		}
+		if !attached[dir.Pos] {
+			pass.Reportf(dir.Pos, "antlint:%s marker is not attached to %s", verb, wants)
+		}
+	}
+}
+
+// Claim records that the marker covering pos (if any) is attached to a valid
+// node, for CheckMarkers bookkeeping.
+func (d *Directives) Claim(verb string, pos token.Pos, attached map[token.Pos]bool) {
+	if dir, ok := d.markerAt(verb, pos); ok {
+		attached[dir.Pos] = true
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// parseDirectivePass builds a pass over one synthetic file, collecting
+// diagnostics into the returned slice. ParseDirectives needs no type
+// information, so the pass carries none.
+func parseDirectivePass(t *testing.T, src string) (*analysis.Pass, *[]analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: Detrand,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	return pass, &diags
+}
+
+// lineStart returns a position on the given 1-based line of the pass's file.
+func lineStart(t *testing.T, pass *analysis.Pass, line int) token.Pos {
+	t.Helper()
+	return pass.Fset.File(pass.Files[0].Pos()).LineStart(line)
+}
+
+// TestAllowCoversOwnAndNextLine pins the suppression span: an allow covers
+// the directive's line (trailing-comment form) and the next line (directive
+// above the construct), for the named analyzer only.
+func TestAllowCoversOwnAndNextLine(t *testing.T) {
+	pass, diags := parseDirectivePass(t, `package p
+
+//antlint:allow maporder keys sorted later
+var a int
+var b int
+`)
+	dirs := ParseDirectives(pass, true)
+	if len(*diags) != 0 {
+		t.Fatalf("well-formed allow reported diagnostics: %v", *diags)
+	}
+	if !dirs.Allowed("maporder", lineStart(t, pass, 3)) {
+		t.Errorf("allow does not cover its own line")
+	}
+	if !dirs.Allowed("maporder", lineStart(t, pass, 4)) {
+		t.Errorf("allow does not cover the following line")
+	}
+	if dirs.Allowed("maporder", lineStart(t, pass, 5)) {
+		t.Errorf("allow leaks past the following line")
+	}
+	if dirs.Allowed("detrand", lineStart(t, pass, 4)) {
+		t.Errorf("allow for maporder suppresses detrand too")
+	}
+}
+
+// TestMarkedAttachesToFollowingDecl pins marker attachment: the declaration
+// on the line after the marker carries it, later declarations do not.
+func TestMarkedAttachesToFollowingDecl(t *testing.T) {
+	pass, _ := parseDirectivePass(t, `package p
+
+//antlint:hotpath
+func hot() {}
+
+func cold() {}
+`)
+	dirs := ParseDirectives(pass, false)
+	var hot, cold *ast.FuncDecl
+	for _, decl := range pass.Files[0].Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			switch fn.Name.Name {
+			case "hot":
+				hot = fn
+			case "cold":
+				cold = fn
+			}
+		}
+	}
+	if !dirs.Marked(VerbHotpath, hot) {
+		t.Errorf("marker above hot() not attached")
+	}
+	if dirs.Marked(VerbHotpath, cold) {
+		t.Errorf("marker leaked onto cold()")
+	}
+}
+
+// TestMalformedDirectivesReportOnlyFromAnchor pins the dedup rule: directive
+// syntax errors surface exactly when reportSyntax is set (detrand, the one
+// analyzer that runs on every package), so the multichecker reports each
+// typo once, and silence is never an option.
+func TestMalformedDirectivesReportOnlyFromAnchor(t *testing.T) {
+	const src = `package p
+
+//antlint:allow
+//antlint:allow bogus because reasons
+//antlint:typo
+//antlint:wire extra
+var a int
+`
+	pass, diags := parseDirectivePass(t, src)
+	ParseDirectives(pass, false)
+	if len(*diags) != 0 {
+		t.Errorf("reportSyntax=false produced %d diagnostics: %v", len(*diags), *diags)
+	}
+
+	pass, diags = parseDirectivePass(t, src)
+	ParseDirectives(pass, true)
+	if len(*diags) != 4 {
+		t.Errorf("reportSyntax=true produced %d diagnostics, want 4: %v", len(*diags), *diags)
+	}
+}
+
+// TestMalformedAllowSuppressesNothing pins the fail-closed rule: an allow
+// missing its reason or naming an unknown analyzer must not register any
+// suppression.
+func TestMalformedAllowSuppressesNothing(t *testing.T) {
+	pass, _ := parseDirectivePass(t, `package p
+
+//antlint:allow maporder
+var a int
+
+//antlint:allow nosuch because reasons
+var b int
+`)
+	dirs := ParseDirectives(pass, false)
+	if dirs.Allowed("maporder", lineStart(t, pass, 4)) {
+		t.Errorf("reasonless allow registered a suppression")
+	}
+	if dirs.Allowed("nosuch", lineStart(t, pass, 7)) {
+		t.Errorf("allow of an unknown analyzer registered a suppression")
+	}
+}

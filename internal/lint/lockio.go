@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// LockIO checks mutexes marked //antlint:lockio — locks that serve hot,
+// latency-sensitive sections and therefore must never be held across
+// blocking I/O. The one marked lock today is cache.Cache.mu: PR 5's
+// write-behind contract is that every store append happens off that lock
+// (only the rare, explicit Snapshot compaction may block under it), so a
+// cache hit is never queued behind a disk write. The contract previously
+// lived in a comment on Cache.Do; this analyzer makes it structural.
+//
+// While a marked mutex is held (between Lock/RLock and the matching
+// Unlock/RUnlock, or for the rest of the function after a deferred unlock),
+// the analyzer rejects calls to:
+//
+//   - *os.File methods that touch the disk (Write, WriteString, WriteAt,
+//     ReadFrom, Sync, Truncate, Close);
+//   - filesystem functions of package os (Create, OpenFile, Rename,
+//     Remove, WriteFile, ...);
+//   - any method marked //antlint:blocking — the hook that extends the
+//     contract to interfaces like cache.Store, whose Append is blocking by
+//     specification no matter which implementation is behind it.
+//
+// The analysis is intra-procedural and syntactic in statement order: a lock
+// taken inside a branch is tracked within that branch. That is exactly the
+// shape of every lock region in this codebase, and a structure the analyzer
+// cannot follow is a structure a reviewer cannot follow either.
+var LockIO = &analysis.Analyzer{
+	Name: "lockio",
+	Doc: "no blocking I/O (os.File writes, Sync, //antlint:blocking methods)\n" +
+		"while holding a mutex marked //antlint:lockio",
+	Run: runLockIO,
+}
+
+// lockioFileMethods are the *os.File methods that block on the disk.
+var lockioFileMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "ReadFrom": true,
+	"Sync": true, "Truncate": true, "Close": true,
+}
+
+// lockioOSFuncs are the package-os filesystem entry points.
+var lockioOSFuncs = map[string]bool{
+	"Create": true, "Open": true, "OpenFile": true, "CreateTemp": true,
+	"Rename": true, "Remove": true, "RemoveAll": true, "Mkdir": true,
+	"MkdirAll": true, "WriteFile": true, "ReadFile": true, "ReadDir": true,
+	"Truncate": true,
+}
+
+func runLockIO(pass *analysis.Pass) (any, error) {
+	dirs := ParseDirectives(pass, false)
+	attached := make(map[token.Pos]bool)
+	mutexes := collectMarkedMutexes(pass, dirs, attached)
+	blocking := collectBlockingMethods(pass, dirs, attached)
+	dirs.CheckMarkers(pass, VerbLockIO, "a sync.Mutex or sync.RWMutex struct field", attached)
+	dirs.CheckMarkers(pass, VerbBlocking, "a method or interface method declaration", attached)
+	if len(mutexes) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				w := &lockWalker{pass: pass, dirs: dirs, mutexes: mutexes, blocking: blocking}
+				w.block(fn.Body.List, make(map[types.Object]bool))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectMarkedMutexes finds struct fields of mutex type carrying the lockio
+// marker.
+func collectMarkedMutexes(pass *analysis.Pass, dirs *Directives, attached map[token.Pos]bool) map[types.Object]bool {
+	mutexes := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !dirs.Marked(VerbLockIO, field) {
+					continue
+				}
+				t := pass.TypesInfo.Types[field.Type].Type
+				if !isMutexType(t) {
+					// Claim it so the generic dangling sweep stays quiet, then
+					// report the misuse with the precise reason.
+					dirs.Claim(VerbLockIO, field.Pos(), attached)
+					pass.Reportf(field.Pos(), "antlint:lockio marks a field of type %s; the marker belongs on a sync.Mutex or sync.RWMutex field", t)
+					continue
+				}
+				dirs.Claim(VerbLockIO, field.Pos(), attached)
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						mutexes[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return mutexes
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectBlockingMethods finds methods (concrete or interface) carrying the
+// blocking marker and returns their function objects.
+func collectBlockingMethods(pass *analysis.Pass, dirs *Directives, attached map[token.Pos]bool) map[types.Object]bool {
+	blocking := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && dirs.Marked(VerbBlocking, fn) {
+				dirs.Claim(VerbBlocking, fn.Pos(), attached)
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					blocking[obj] = true
+				}
+			}
+		}
+		// Interface methods: fields of interface types with a func type.
+		ast.Inspect(file, func(n ast.Node) bool {
+			iface, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, m := range iface.Methods.List {
+				if _, isFunc := m.Type.(*ast.FuncType); !isFunc || len(m.Names) == 0 {
+					continue
+				}
+				if !dirs.Marked(VerbBlocking, m) {
+					continue
+				}
+				dirs.Claim(VerbBlocking, m.Pos(), attached)
+				for _, name := range m.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						blocking[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return blocking
+}
+
+// lockWalker tracks, statement by statement, which marked mutexes are held.
+type lockWalker struct {
+	pass     *analysis.Pass
+	dirs     *Directives
+	mutexes  map[types.Object]bool
+	blocking map[types.Object]bool
+}
+
+// block walks a statement list with the given entry lock state; held is
+// mutated in place as Lock/Unlock calls are passed.
+func (w *lockWalker) block(stmts []ast.Stmt, held map[types.Object]bool) {
+	for _, stmt := range stmts {
+		w.stmt(stmt, held)
+	}
+}
+
+// branch walks a nested statement region with a copy of the current state,
+// so locks taken inside it do not leak into the fallthrough path (and
+// unlocks inside it do not clear the outer state — holding across a branch
+// that sometimes unlocks still holds on the other arm).
+func (w *lockWalker) branch(stmt ast.Stmt, held map[types.Object]bool) {
+	if stmt == nil {
+		return
+	}
+	copyHeld := make(map[types.Object]bool, len(held))
+	for k, v := range held {
+		copyHeld[k] = v
+	}
+	w.stmt(stmt, copyHeld)
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, held map[types.Object]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held for the rest of the body
+		// (no state change); a deferred anything-else runs at return time
+		// and is checked against the current state, which is exact for the
+		// ubiquitous lock/defer-unlock idiom.
+		if mu := w.lockOp(s.Call); mu != nil {
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, held)
+		}
+		for _, lhs := range s.Lhs {
+			w.expr(lhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.branch(s.Body, held)
+		w.branch(s.Else, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.branch(s.Init, held)
+		}
+		w.branch(s.Body, held)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.branch(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			w.branch(c, held)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			w.branch(c, held)
+		}
+	case *ast.CaseClause:
+		w.block(s.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.branch(c, held)
+		}
+	case *ast.CommClause:
+		w.block(s.Body, held)
+	case *ast.BlockStmt:
+		w.block(s.List, held)
+	case *ast.GoStmt:
+		// A goroutine does not run under the caller's locks.
+		w.branch(&ast.ExprStmt{X: s.Call.Fun}, make(map[types.Object]bool))
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.SendStmt:
+		// No calls of interest, or covered by expr below where applicable.
+	}
+}
+
+// expr scans one expression: lock-state transitions first, then violations.
+func (w *lockWalker) expr(e ast.Expr, held map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if mu := w.lockOp(call); mu != nil {
+			if w.lockOpKind(call) {
+				delete(held, mu)
+			} else {
+				held[mu] = true
+			}
+			return false
+		}
+		if len(held) > 0 {
+			w.checkCall(call, held)
+		}
+		return true
+	})
+}
+
+// lockOp returns the marked mutex object if the call is a Lock/RLock/
+// Unlock/RUnlock on one, else nil.
+func (w *lockWalker) lockOp(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := w.pass.TypesInfo.Uses[inner.Sel]
+	if obj == nil || !w.mutexes[obj] {
+		return nil
+	}
+	return obj
+}
+
+// lockOpKind reports true for Unlock/RUnlock, false for Lock/RLock.
+func (w *lockWalker) lockOpKind(call *ast.CallExpr) bool {
+	sel := call.Fun.(*ast.SelectorExpr)
+	return sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock"
+}
+
+// checkCall reports the call if it is blocking I/O.
+func (w *lockWalker) checkCall(call *ast.CallExpr, held map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if w.dirs.Allowed(w.pass.Analyzer.Name, call.Pos()) {
+		return
+	}
+	// Marked-blocking methods, through any receiver (interface or concrete).
+	if obj := w.pass.TypesInfo.Uses[sel.Sel]; obj != nil && w.blocking[obj] {
+		w.report(call, "call to blocking method %s.%s", exprString(sel.X), sel.Sel.Name)
+		return
+	}
+	// *os.File methods.
+	if s, ok := w.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		recv := types.Unalias(s.Recv())
+		if ptr, ok := recv.(*types.Pointer); ok {
+			if named, ok := types.Unalias(ptr.Elem()).(*types.Named); ok {
+				if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os" &&
+					named.Obj().Name() == "File" && lockioFileMethods[sel.Sel.Name] {
+					w.report(call, "os.File.%s blocks on the disk", sel.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+	// Package-level os filesystem calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := w.pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+			pkg.Imported().Path() == "os" && lockioOSFuncs[sel.Sel.Name] {
+			w.report(call, "os.%s blocks on the filesystem", sel.Sel.Name)
+		}
+	}
+}
+
+func (w *lockWalker) report(call *ast.CallExpr, format string, args ...any) {
+	w.pass.Reportf(call.Pos(), "blocking I/O while holding an I/O-free (//antlint:lockio) mutex: "+format+"; move the I/O off the lock (write-behind, as cache.Do does)", args...)
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// MapOrder flags `range` over a map whose loop body is order-sensitive:
+// appending to a slice, sending on a channel, writing output, or folding
+// into an accumulator with a compound assignment. Go randomizes map
+// iteration order per run, so any such loop produces run-dependent results —
+// the exact class of bug the engine's bit-identity contract cannot tolerate
+// anywhere between a seed and a wire row.
+//
+// Order-insensitive uses stay legal: pure membership/predicate loops, and
+// the guarded min/max pattern (`if v > best { best = v }`), which commutes.
+// A site that collects keys and sorts them before use is legitimate but
+// undetectably so — it carries an //antlint:allow maporder with the reason.
+// Test files are exempt: tests may iterate maps for convenience because
+// their assertions, not their iteration order, are the contract.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order can reach results (appends, sends,\n" +
+		"output writes, compound-assignment accumulators) outside _test.go files",
+	Run: runMapOrder,
+}
+
+// maporderOutputPkgs are packages whose call inside a map-range body counts
+// as writing output in iteration order.
+var maporderOutputPkgs = map[string]bool{"fmt": true, "log": true, "os": true}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	dirs := ParseDirectives(pass, false)
+	for _, file := range pass.Files {
+		if name := pass.Fset.Position(file.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if dirs.Allowed(pass.Analyzer.Name, rng.Pos()) {
+				return true
+			}
+			if sink, what := mapOrderSink(pass, rng); sink != token.NoPos {
+				pass.Reportf(rng.Pos(), "map iteration order reaches results: loop body %s (at %s); iterate a sorted key slice instead", what, pass.Fset.Position(sink))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// mapOrderSink scans the loop body for the first order-sensitive sink and
+// describes it.
+func mapOrderSink(pass *analysis.Pass, rng *ast.RangeStmt) (pos token.Pos, what string) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					pos, what = n.Pos(), "appends to a slice in iteration order"
+					return false
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && maporderOutputPkgs[pkg.Imported().Path()] {
+						pos, what = n.Pos(), "writes output ("+pkg.Imported().Path()+"."+sel.Sel.Name+") in iteration order"
+						return false
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pos, what = n.Pos(), "sends on a channel in iteration order"
+			return false
+		case *ast.AssignStmt:
+			// Compound assignments (+=, *=, ...) fold the iteration into an
+			// accumulator; for floats even += is order-dependent. Plain = is
+			// deliberately exempt: the guarded min/max idiom commutes.
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE && outerAssignTarget(pass, rng, n) {
+				pos, what = n.Pos(), "feeds an accumulator declared outside the loop ("+n.Tok.String()+")"
+				return false
+			}
+		case *ast.IncDecStmt:
+			// Counting elements (len-style) commutes; ++/-- on outer vars is
+			// exempt for the same reason guarded assignment is.
+		}
+		return true
+	})
+	return pos, what
+}
+
+// outerAssignTarget reports whether any left-hand side of the assignment
+// resolves to a variable declared outside the range statement.
+func outerAssignTarget(pass *analysis.Pass, rng *ast.RangeStmt, assign *ast.AssignStmt) bool {
+	for _, lhs := range assign.Lhs {
+		base := lhs
+		for {
+			switch e := base.(type) {
+			case *ast.IndexExpr:
+				base = e.X
+				continue
+			case *ast.SelectorExpr:
+				base = e.X
+				continue
+			case *ast.StarExpr:
+				base = e.X
+				continue
+			}
+			break
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok {
+			// Unresolvable target (call result, ...): assume it escapes the
+			// loop rather than silently passing it.
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+			return true
+		}
+	}
+	return false
+}

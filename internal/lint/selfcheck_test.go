@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"antsearch/internal/lint/load"
+)
+
+// TestRepositoryHonorsItsContracts runs the whole suite over this repository
+// exactly as cmd/antlint does, so `go test ./...` fails whenever the tree
+// violates its own static contracts — the analyzers are not an optional
+// extra CI step but part of the test surface.
+func TestRepositoryHonorsItsContracts(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	root := wd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+		root = parent
+	}
+
+	loader := load.New(root)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading the repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages; the self-check checked nothing")
+	}
+	findings, err := RunAnalyzers(pkgs, Analyzers)
+	if err != nil {
+		t.Fatalf("running the suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,32 @@
+// Package sim is the detrand fixture. It sits on a guarded import path
+// (antsearch/internal/sim), so it seeds the exact regressions the analyzer
+// exists to refuse: stdlib RNG imports and wall-clock reads in engine code.
+package sim
+
+import (
+	"math/rand"      // want `import of math/rand \(ambiently seeded RNG\) in deterministic engine package antsearch/internal/sim`
+	_ "math/rand/v2" // want `import of math/rand/v2 \(ambiently seeded RNG\) in deterministic engine package antsearch/internal/sim`
+	"time"
+
+	crand "crypto/rand" //antlint:allow detrand fixture exercises the audited suppression path
+)
+
+// Reader keeps the allowed crypto/rand import referenced.
+var Reader = crand.Reader
+
+// Seed mixes the two wall-clock-free hazards the analyzer must flag.
+func Seed() int64 {
+	t := time.Now().UnixNano() // want `time\.Now reads the wall clock in deterministic engine package antsearch/internal/sim`
+	return rand.Int63() + t
+}
+
+// Age shows that Since is Now in disguise.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock in deterministic engine package antsearch/internal/sim`
+}
+
+// Stamp is legal: constructing or formatting times is deterministic, only
+// reading the clock is not.
+func Stamp(t0 time.Time) string {
+	return t0.Format(time.RFC3339)
+}

@@ -1,0 +1,33 @@
+// Package directives exercises the directive-hygiene diagnostics the suite's
+// anchor (detrand) owns: a malformed or misaddressed suppression must be a
+// diagnostic, never a silently widened exemption. The diagnostics land on
+// the directive comments themselves, which swallow the rest of their line,
+// so every expectation here uses the offset form.
+package directives
+
+//antlint:
+// want[-1] `malformed antlint directive: missing verb`
+
+//antlint:nonsense
+// want[-1] `unknown antlint directive "nonsense" \(known: allow, wire, hotpath, lockio, blocking\)`
+
+//antlint:allow
+// want[-1] `antlint:allow needs an analyzer name and a reason`
+
+//antlint:allow detrand
+// want[-1] `antlint:allow detrand needs a reason: an unexplained suppression cannot be audited`
+
+//antlint:allow bogus because reasons
+// want[-1] `antlint:allow targets unknown analyzer "bogus" \(known: detrand, maporder, wiretag, hotpath, lockio\)`
+
+//antlint:wire json
+// want[-1] `antlint:wire takes no arguments`
+
+//antlint:hotpath
+//antlint:hotpath
+// want[-1] `duplicate antlint:hotpath marker`
+
+// covered exists so the file has a declaration after the directives.
+func covered() {}
+
+var _ = covered

@@ -1,0 +1,121 @@
+// Package lockio exercises the held-lock blocking-I/O analyzer in the exact
+// shape of internal/cache: a hot mutex, a blocking-by-specification store
+// interface, and the write-behind idiom that must stay the only legal way to
+// combine them.
+package lockio
+
+import (
+	"os"
+	"sync"
+)
+
+// Store mirrors cache.Store: Append blocks by specification, whatever the
+// implementation; Snapshot is deliberate, explicit compaction.
+type Store interface {
+	//antlint:blocking
+	Append(string) error
+	Snapshot([]string) error
+}
+
+// Cache holds the marked hot lock.
+type Cache struct {
+	//antlint:lockio
+	mu    sync.Mutex
+	log   *os.File
+	store Store
+	rows  []string
+}
+
+// BadAppend blocks on the store through the interface while holding the hot
+// lock: flagged.
+func (c *Cache) BadAppend(row string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rows = append(c.rows, row)
+	return c.store.Append(row) // want `blocking I/O while holding an I/O-free \(//antlint:lockio\) mutex: call to blocking method c\.store\.Append`
+}
+
+// BadWrite writes a file between Lock and Unlock: flagged.
+func (c *Cache) BadWrite(line []byte) error {
+	c.mu.Lock()
+	_, err := c.log.Write(line) // want `os\.File\.Write blocks on the disk`
+	c.mu.Unlock()
+	return err
+}
+
+// BadRemove hits the filesystem under a deferred unlock: flagged.
+func (c *Cache) BadRemove(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.Remove(path) // want `os\.Remove blocks on the filesystem`
+}
+
+// disk is a concrete store whose Append carries the blocking marker, like
+// DiskStore.
+type disk struct{ f *os.File }
+
+// Append blocks on the disk (no lock held here, so its own body is clean).
+//
+//antlint:blocking
+func (d *disk) Append(row string) error {
+	_, err := d.f.WriteString(row)
+	return err
+}
+
+// BadConcrete reaches the blocking method through the concrete receiver:
+// flagged the same as through the interface.
+func (c *Cache) BadConcrete(d *disk, row string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d.Append(row) // want `call to blocking method d\.Append`
+}
+
+// GoodWriteBehind is the cache.Do shape — mutate under the lock, append off
+// it: clean.
+func (c *Cache) GoodWriteBehind(row string) error {
+	c.mu.Lock()
+	c.rows = append(c.rows, row)
+	c.mu.Unlock()
+	return c.store.Append(row)
+}
+
+// GoodSnapshot holds the lock across Snapshot, the sanctioned explicit
+// compaction (Snapshot carries no blocking marker): clean.
+func (c *Cache) GoodSnapshot() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.Snapshot(c.rows)
+}
+
+// AllowedUnderLock is the audited escape hatch.
+func (c *Cache) AllowedUnderLock(row string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.Append(row) //antlint:allow lockio fixture holds deliberately to test the suppression
+}
+
+// BranchLock locks only inside the branch; the append after it runs
+// unlocked: clean.
+func (c *Cache) BranchLock(row string, lock bool) error {
+	if lock {
+		c.mu.Lock()
+		c.rows = append(c.rows, row)
+		c.mu.Unlock()
+	}
+	return c.store.Append(row)
+}
+
+// wrong misuses the marker: lockio belongs on mutex fields only.
+type wrong struct {
+	//antlint:lockio
+	n int // want `antlint:lockio marks a field of type int; the marker belongs on a sync\.Mutex or sync\.RWMutex field`
+}
+
+var _ = wrong{}
+
+// want[2] `antlint:blocking marker is not attached to a method or interface method declaration`
+//
+//antlint:blocking
+var dangling int
+
+var _ = dangling

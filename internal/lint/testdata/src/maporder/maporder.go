@@ -1,0 +1,84 @@
+// Package maporder exercises the map-iteration-order analyzer: loops whose
+// body lets Go's randomized iteration order reach results must be flagged,
+// order-insensitive idioms must stay legal.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CollectValues appends in iteration order: flagged.
+func CollectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order reaches results: loop body appends to a slice in iteration order`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Print writes output in iteration order: flagged.
+func Print(m map[string]int) {
+	for k := range m { // want `writes output \(fmt\.Println\) in iteration order`
+		fmt.Println(k)
+	}
+}
+
+// Send sends on a channel in iteration order: flagged.
+func Send(m map[string]int, ch chan int) {
+	for _, v := range m { // want `sends on a channel in iteration order`
+		ch <- v
+	}
+}
+
+// SumFloats folds into an outer accumulator: flagged — float addition does
+// not commute in rounding, so even a sum is order-dependent.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `feeds an accumulator declared outside the loop \(\+=\)`
+		sum += v
+	}
+	return sum
+}
+
+// Max uses the guarded min/max idiom, which commutes: clean.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Count counts with ++, which commutes: clean.
+func Count(m map[string]bool) int {
+	n := 0
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedKeys collects keys and sorts them before use — legitimate but
+// undetectably so, hence the audited suppression.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //antlint:allow maporder keys are sorted before use below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RangeSlice iterates a slice, which is ordered: clean regardless of body.
+func RangeSlice(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package maporder
+
+// Test files are exempt: a test's assertions, not its iteration order, are
+// the contract — this append-in-range must produce no diagnostic.
+func collectForTest(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+var _ = collectForTest

@@ -1,0 +1,9 @@
+// Package plain sits outside the guarded import paths: detrand must stay
+// silent here even though the package imports a banned RNG — the determinism
+// contract covers the engine, not the whole world.
+package plain
+
+import "math/rand"
+
+// Roll is ambient randomness, legal outside the engine.
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,44 @@
+// Package wiretag exercises the wire-struct analyzer, seeding the exact
+// regression class PR 5 fixed by hand: omitempty on a field whose zero value
+// is a legal wire value, which makes that value vanish from the encoding.
+package wiretag
+
+// Inner is the nested aggregate a row may legitimately omit wholesale
+// through a pointer.
+type Inner struct {
+	N int `json:"n"`
+}
+
+// Row is a wire commitment shaped like a sweep row: Seed 0 is a legal
+// coordinate and must never be elided.
+//
+//antlint:wire
+type Row struct {
+	Index int       `json:"index"`
+	Seed  uint64    `json:"seed,omitempty"` // want `wire struct Row: field Seed carries omitempty but is not a pointer`
+	Qs    []float64 `json:"qs,omitzero"`    // want `wire struct Row: field Qs carries omitempty but is not a pointer`
+	Stats *Inner    `json:"stats,omitempty"`
+	Error string    `json:"error,omitempty"` //antlint:allow wiretag absence of the error field is the row-is-a-result signal
+	note  string
+}
+
+// loose is unmarked: its encoding is nobody's wire commitment, omitempty is
+// its own business.
+type loose struct {
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+var _ = loose{}
+var _ = Row{}.note
+
+// Alias is claimed but misused: the wire contract applies to structs.
+//
+//antlint:wire
+type Alias int // want `antlint:wire marks Alias, which is not a struct type`
+
+// want[2] `antlint:wire marker is not attached to a struct type declaration`
+//
+//antlint:wire
+var dangling int
+
+var _ = dangling

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// WireTag checks structs marked //antlint:wire — types whose JSON encoding
+// is a wire commitment (NDJSON sweep rows, durable-store records, the
+// quantile-summary encoding): no field whose zero value is a legal wire
+// value may carry `omitempty`.
+//
+// For a non-pointer field, omitempty makes the zero value indistinguishable
+// from absence — `seed 0` vanishes from a row, an empty-but-non-nil exact
+// quantile window round-trips to nil — which breaks the byte-identical
+// restart contract (exactly the sweepRow bug PR 5 fixed by hand). Pointer
+// fields are exempt: nil genuinely encodes absence and the zero value is
+// not expressible otherwise. A non-pointer field whose absence is a
+// deliberate part of the wire format (an error string that is only
+// meaningful when non-empty) documents that with //antlint:allow wiretag
+// and a reason.
+var WireTag = &analysis.Analyzer{
+	Name: "wiretag",
+	Doc: "structs marked //antlint:wire may not put omitempty on fields whose\n" +
+		"zero value is legal on the wire (all non-pointer fields by default)",
+	Run: runWireTag,
+}
+
+func runWireTag(pass *analysis.Pass) (any, error) {
+	dirs := ParseDirectives(pass, false)
+	attached := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, isStruct := ts.Type.(*ast.StructType)
+				marked := dirs.Marked(VerbWire, gen) || dirs.Marked(VerbWire, ts)
+				if !marked {
+					continue
+				}
+				if !isStruct {
+					// Claimed but misused: report here rather than via the
+					// dangling-marker sweep so the message can name the type.
+					dirs.Claim(VerbWire, gen.Pos(), attached)
+					dirs.Claim(VerbWire, ts.Pos(), attached)
+					pass.Reportf(ts.Pos(), "antlint:wire marks %s, which is not a struct type; the wire contract applies to struct JSON encodings", ts.Name.Name)
+					continue
+				}
+				dirs.Claim(VerbWire, gen.Pos(), attached)
+				dirs.Claim(VerbWire, ts.Pos(), attached)
+				checkWireStruct(pass, dirs, ts.Name.Name, st)
+			}
+		}
+	}
+	dirs.CheckMarkers(pass, VerbWire, "a struct type declaration", attached)
+	return nil, nil
+}
+
+// checkWireStruct applies the omitempty rule to every field of one marked
+// struct.
+func checkWireStruct(pass *analysis.Pass, dirs *Directives, name string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if field.Tag == nil {
+			continue
+		}
+		raw, err := strconv.Unquote(field.Tag.Value)
+		if err != nil {
+			continue
+		}
+		jsonTag := reflect.StructTag(raw).Get("json")
+		if jsonTag == "" || jsonTag == "-" {
+			continue
+		}
+		parts := strings.Split(jsonTag, ",")
+		hasOmitempty := false
+		for _, opt := range parts[1:] {
+			if opt == "omitempty" || opt == "omitzero" {
+				hasOmitempty = true
+			}
+		}
+		if !hasOmitempty {
+			continue
+		}
+		if isPointerField(pass, field) {
+			continue
+		}
+		if dirs.Allowed(pass.Analyzer.Name, field.Pos()) {
+			continue
+		}
+		fieldName := parts[0]
+		if len(field.Names) > 0 {
+			fieldName = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(), "wire struct %s: field %s carries omitempty but is not a pointer, so a legal zero value vanishes from the encoding; drop omitempty or make absence explicit", name, fieldName)
+	}
+}
+
+// isPointerField reports whether the field's type is a pointer (possibly
+// behind a named type), the one shape for which omitempty encodes genuine
+// absence.
+func isPointerField(pass *analysis.Pass, field *ast.Field) bool {
+	if t := pass.TypesInfo.Types[field.Type].Type; t != nil {
+		_, isPtr := t.Underlying().(*types.Pointer)
+		return isPtr
+	}
+	_, isPtr := field.Type.(*ast.StarExpr)
+	return isPtr
+}

@@ -123,7 +123,7 @@ func Names() []string {
 	mu.RLock()
 	defer mu.RUnlock()
 	names := make([]string, 0, len(registry))
-	for name := range registry {
+	for name := range registry { //antlint:allow maporder names are sorted before use below
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -135,7 +135,7 @@ func All() []Scenario {
 	mu.RLock()
 	defer mu.RUnlock()
 	out := make([]Scenario, 0, len(registry))
-	for _, s := range registry {
+	for _, s := range registry { //antlint:allow maporder scenarios are sorted by name below
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

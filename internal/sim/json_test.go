@@ -15,7 +15,31 @@ import (
 
 	"antsearch/internal/adversary"
 	"antsearch/internal/core"
+	"antsearch/internal/stats"
 )
+
+// TestQuantileSummaryEmptyWindowRoundTrip pins the empty-but-non-nil exact
+// window as a fixed point. This state is legal on the wire (a summary that
+// observed nothing), and it is exactly where omitempty on the slice fields
+// would break the contract: the empty window would encode as absent, decode
+// as nil, and re-encode differently — which is why quantileSummaryJSON is
+// an //antlint:wire struct with no omitempty anywhere.
+func TestQuantileSummaryEmptyWindowRoundTrip(t *testing.T) {
+	t.Parallel()
+
+	first := []byte(`{"n":0,"min":0,"max":0,"exact":true,"samples":[],"qs":[],"vs":[]}`)
+	var q stats.QuantileSummary
+	if err := json.Unmarshal(first, &q); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("empty exact window is not a round-trip fixed point:\n%s\nvs\n%s", first, second)
+	}
+}
 
 func TestTrialStatsJSONRoundTrip(t *testing.T) {
 	t.Parallel()

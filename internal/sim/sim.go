@@ -167,6 +167,21 @@ const maxZeroStreak = 1 << 20
 // segments without ever advancing simulated time.
 var ErrNoProgress = errors.New("sim: searcher makes no progress (zero-duration segments)")
 
+// discontinuityError builds the ErrDiscontinuousTrajectory report. It lives
+// outside the hot functions that detect the condition (scanSeg, advanceExact)
+// so their bodies stay fmt-free: formatting boxes every operand, and the
+// hotpath analyzer holds the kernel to zero fmt usage.
+func discontinuityError(seg trajectory.Seg, start, at grid.Point) error {
+	return fmt.Errorf("%w: segment %v starts at %v, agent is at %v",
+		ErrDiscontinuousTrajectory, seg, start, at)
+}
+
+// agentError attributes an engine-loop error to the agent that raised it,
+// cold for the same reason as discontinuityError.
+func agentError(idx int, err error) error {
+	return fmt.Errorf("agent %d: %w", idx, err)
+}
+
 // engine is the reusable state of the simulation loop: flat per-agent
 // storage, an index-based min-heap over it, and a scratch stream for treasure
 // placement. A fresh engine is ready to use (the zero value); reset prepares
@@ -347,7 +362,9 @@ func (analyticAdvancer) advance(st *agentState, treasure grid.Point, budget int)
 
 // exactAdvancer enumerates every cell of the next segment, reporting each to
 // the visitor.
-type exactAdvancer struct{ visit func(agentIdx, t int, p grid.Point) }
+type exactAdvancer struct {
+	visit func(agentIdx, t int, p grid.Point)
+}
 
 func (a exactAdvancer) advance(st *agentState, treasure grid.Point, budget int) (stepOutcome, error) {
 	return advanceExact(st, treasure, budget, a.visit)
@@ -374,6 +391,12 @@ func (e *engine) runAnalytic(in Instance, opts Options, reuser agent.SearcherReu
 //     the retire conditions exact, so the sequence of (agent, segment) steps —
 //     and therefore every Result bit — is identical to the historical
 //     one-segment-per-heap-round loops this replaces.
+//
+// The hotpath marker holds this body to no dynamic dispatch and no
+// allocation; adv.advance is exempt by rule (a call on a type parameter is
+// the kernel's one sanctioned, gcshape-bounded dictionary call).
+//
+//antlint:hotpath
 func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.SearcherReuser, adv A) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
@@ -417,7 +440,7 @@ func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.Sear
 			if err != nil {
 				// Includes ErrNoProgress: the zero-streak guard lives in the
 				// advance leaves, which see segment durations for free.
-				return Result{}, fmt.Errorf("agent %d: %w", st.idx, err)
+				return Result{}, agentError(st.idx, err)
 			}
 			if outcome.hit >= 0 && (outcome.hit < best || (outcome.hit == best && !res.Found)) {
 				best = outcome.hit
@@ -451,11 +474,12 @@ func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.Sear
 // compare elapsed around every step to detect the same condition. All other
 // exits make progress (a hit, or elapsed strictly growing to the budget or by
 // the duration), so only the zero-duration advance can extend a streak.
+//
+//antlint:hotpath
 func (st *agentState) scanSeg(seg trajectory.Seg, treasure grid.Point, budget int) (stepOutcome, error) {
 	start, end, duration, off, found := seg.Scan(treasure)
 	if start != st.pos {
-		return stepOutcome{}, fmt.Errorf("%w: segment %v starts at %v, agent is at %v",
-			ErrDiscontinuousTrajectory, seg, start, st.pos)
+		return stepOutcome{}, discontinuityError(seg, start, st.pos)
 	}
 	if found {
 		st.zeroStreak = 0
@@ -495,6 +519,8 @@ func (st *agentState) scanSeg(seg trajectory.Seg, treasure grid.Point, budget in
 // pull. A batch-emitted segment sequence is, by the SortieEmitter contract,
 // exactly what NextSegment would have produced with the same randomness, so
 // buffering does not change a single engine decision.
+//
+//antlint:hotpath
 func (st *agentState) advanceAnalytic(treasure grid.Point, budget int) (stepOutcome, error) {
 	if st.segNext < len(st.segs) {
 		// Defensive: runLoop drains the buffer before calling advance, but
@@ -505,7 +531,9 @@ func (st *agentState) advanceAnalytic(treasure grid.Point, budget int) (stepOutc
 	}
 	var seg trajectory.Seg
 	if st.emitter != nil {
-		segs, ok := st.emitter.EmitSortie(st.segs[:0])
+		// The engine's one sanctioned dynamic dispatch: one EmitSortie call
+		// amortized over the whole batch (PR 6's contract).
+		segs, ok := st.emitter.EmitSortie(st.segs[:0]) //antlint:allow hotpath one dispatch per sortie by design
 		st.segs = segs
 		st.segNext = 0
 		if !ok {
@@ -525,7 +553,9 @@ func (st *agentState) advanceAnalytic(treasure grid.Point, budget int) (stepOutc
 		st.segNext = 1
 	} else {
 		var ok bool
-		seg, ok = st.searcher.NextSegment()
+		// Fallback for searchers without batch emission: one dispatch per
+		// segment, the pre-PR 6 cost, never taken by the builtin algorithms.
+		seg, ok = st.searcher.NextSegment() //antlint:allow hotpath non-batch searcher fallback path
 		if !ok {
 			return stepOutcome{hit: -1, finished: true}, nil
 		}

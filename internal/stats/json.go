@@ -14,7 +14,11 @@ import (
 // durable result store (internal/cache) persists TrialStats in this same
 // encoding across restarts, so losslessness is load-bearing twice over: the
 // round-trip must be a fixed point (sim.TestTrialStatsJSONRoundTrip) for a
-// restarted server to reproduce byte-identical rows.
+// restarted server to reproduce byte-identical rows. No field may carry
+// omitempty: an empty-but-non-nil exact window would encode as absent and
+// decode as nil, so re-encoding would differ from the original bytes.
+//
+//antlint:wire
 type quantileSummaryJSON struct {
 	N     int     `json:"n"`
 	Min   float64 `json:"min"`
@@ -23,9 +27,9 @@ type quantileSummaryJSON struct {
 	// Samples carries the sorted observations in exact mode (at most the
 	// sketch cap of them); Qs/Vs carry the tracked quantiles and their P²
 	// estimates in estimation mode.
-	Samples []float64 `json:"samples,omitempty"`
-	Qs      []float64 `json:"qs,omitempty"`
-	Vs      []float64 `json:"vs,omitempty"`
+	Samples []float64 `json:"samples"`
+	Qs      []float64 `json:"qs"`
+	Vs      []float64 `json:"vs"`
 }
 
 // MarshalJSON implements json.Marshaler.

@@ -166,6 +166,8 @@ func (s Seg) HitTime(target grid.Point) (int, bool) {
 // HitTime separately; the fused form exists for the simulation hot loop,
 // which would otherwise pay four kind switches (and, for spirals, two
 // SpiralOffset evaluations) per segment.
+//
+//antlint:hotpath
 func (s Seg) Scan(target grid.Point) (start, end grid.Point, duration, hitOff int, hit bool) {
 	switch s.kind {
 	case KindWalk:
