@@ -7,6 +7,7 @@
 //
 //	antserve [-addr :8077] [-cache-size 4096] [-adaptive]
 //	         [-workers 0] [-cell-workers 1] [-max-cells 10000]
+//	         [-max-inflight-sweeps 0]
 //	         [-store-dir ""] [-fsync-appends] [-snapshot-interval 5m]
 //	         [-debug-addr ""]
 //
@@ -31,19 +32,33 @@
 // power loss. /stats reports loaded/persisted/store_errors counters
 // alongside the cache hit/miss ones.
 //
+// -max-inflight-sweeps is the admission-control valve: with a positive
+// value, at most that many /sweep requests compute concurrently and the
+// excess is shed immediately with 503 + a Retry-After header instead of
+// queueing unboundedly behind the worker pool. Shed requests are counted in
+// /stats as shed_sweeps.
+//
 // Endpoints:
 //
 //	GET  /scenarios  the registry: names, descriptions, default grids (JSON)
 //	POST /sweep      a sweep grid (JSON body); results stream back as NDJSON,
 //	                 one cell-row at a time, in cell order — responses are
 //	                 constant-memory like the engine beneath them
-//	GET  /healthz    liveness probe
-//	GET  /stats      cache and in-flight counters (JSON)
+//	GET  /healthz    liveness probe; reports {"status":"degraded"} with a
+//	                 store_errors count once the durable store has failed and
+//	                 the cache fell back to memory-only serving (still HTTP
+//	                 200: the replica is alive, just half-broken)
+//	GET  /stats      cache, in-flight, shed and store counters (JSON)
 //
 // A /sweep body mirrors scenario.Grid:
 //
 //	{"scenarios": ["known-k", "uniform"], "ks": [1, 4, 16], "ds": [32],
 //	 "trials": 64, "seed": 1, "params": {"epsilon": 0.5}}
+//
+// The params object also accepts the fault-model knobs (crash_prob,
+// crash_by, stall_prob, stall_by, stall_dur — see DESIGN.md §10), which
+// subject every cell's agents to fail-stop/fail-stall faults; the registered
+// -faulty scenario variants carry a default plan without any knobs.
 //
 // Each response line carries the cell coordinates, a "cached" flag and the
 // full TrialStats aggregate (lossless JSON, including quantile summaries).
@@ -89,6 +104,7 @@ func run(args []string, logw io.Writer) error {
 		workers      = fs.Int("workers", 0, "trial-level worker goroutines per cell with -adaptive=false (0 = GOMAXPROCS)")
 		cellWorkers  = fs.Int("cell-workers", 1, "cells computed concurrently per request with -adaptive=false (1 = sequential)")
 		maxCells     = fs.Int("max-cells", 10000, "largest grid a single /sweep may expand to")
+		maxInflight  = fs.Int("max-inflight-sweeps", 0, "maximum /sweep requests computing concurrently; excess is shed with 503 (0 = unlimited)")
 		storeDir     = fs.String("store-dir", "", "directory for the durable result store (empty = memory-only cache)")
 		fsyncAppends = fs.Bool("fsync-appends", false, "fsync the store log after every appended cell, surviving OS crashes and power loss (needs -store-dir)")
 		snapInterval = fs.Duration("snapshot-interval", 5*time.Minute, "how often to compact the store (0 = only on shutdown; needs -store-dir)")
@@ -118,6 +134,9 @@ func run(args []string, logw io.Writer) error {
 	if *maxCells < 1 {
 		return fmt.Errorf("-max-cells must be at least 1, got %d", *maxCells)
 	}
+	if *maxInflight < 0 {
+		return fmt.Errorf("-max-inflight-sweeps must be >= 0 (0 = unlimited), got %d", *maxInflight)
+	}
 
 	if *debugAddr != "" {
 		// The profiling endpoints live on their own listener so they can stay
@@ -135,11 +154,12 @@ func run(args []string, logw io.Writer) error {
 	}
 
 	cfg := serverConfig{
-		Adaptive:    *adaptive,
-		Workers:     *workers,
-		CellWorkers: *cellWorkers,
-		CacheSize:   *cacheSize,
-		MaxCells:    *maxCells,
+		Adaptive:          *adaptive,
+		Workers:           *workers,
+		CellWorkers:       *cellWorkers,
+		CacheSize:         *cacheSize,
+		MaxCells:          *maxCells,
+		MaxInflightSweeps: *maxInflight,
 	}
 	var diskStore *cache.DiskStore
 	if *storeDir != "" {
@@ -245,12 +265,13 @@ func snapIntervalSet(fs *flag.FlagSet) bool {
 
 // serverConfig carries the tunables of a server instance.
 type serverConfig struct {
-	Adaptive    bool        // pick the per-request split with scenario.AutoSplit
-	Workers     int         // trial-level goroutines per cell (0 = GOMAXPROCS); fixed mode only
-	CellWorkers int         // cells computed concurrently per request (>= 1); fixed mode only
-	CacheSize   int         // LRU bound of the result cache
-	MaxCells    int         // largest grid a single request may expand to
-	Store       cache.Store // durable backing for the result cache (nil = memory-only)
+	Adaptive          bool        // pick the per-request split with scenario.AutoSplit
+	Workers           int         // trial-level goroutines per cell (0 = GOMAXPROCS); fixed mode only
+	CellWorkers       int         // cells computed concurrently per request (>= 1); fixed mode only
+	CacheSize         int         // LRU bound of the result cache
+	MaxCells          int         // largest grid a single request may expand to
+	MaxInflightSweeps int         // concurrent /sweep cap; excess shed with 503 (0 = unlimited)
+	Store             cache.Store // durable backing for the result cache (nil = memory-only)
 }
 
 // split returns the (cellWorkers, trialWorkers) pair for a request's cells:
@@ -274,6 +295,7 @@ type server struct {
 
 	activeSweeps atomic.Int64
 	totalSweeps  atomic.Int64
+	shedSweeps   atomic.Int64
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -314,7 +336,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz is the liveness probe. It always answers 200 — a replica
+// serving from memory is alive — but the body distinguishes a fully healthy
+// instance from one whose durable store has failed: once any append or
+// snapshot errored the cache runs memory-only, and orchestration (or a
+// human) should know results stopped surviving restarts.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if st := s.cache.Stats(); st.StoreErrors > 0 {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":       "degraded",
+			"store_errors": st.StoreErrors,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -349,6 +383,7 @@ type statsResponse struct {
 	Cache         cache.Stats `json:"cache"`
 	ActiveSweeps  int64       `json:"active_sweeps"`
 	TotalSweeps   int64       `json:"total_sweeps"`
+	ShedSweeps    int64       `json:"shed_sweeps"`
 	UptimeSeconds float64     `json:"uptime_seconds"`
 }
 
@@ -357,18 +392,24 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Cache:         s.cache.Stats(),
 		ActiveSweeps:  s.activeSweeps.Load(),
 		TotalSweeps:   s.totalSweeps.Load(),
+		ShedSweeps:    s.shedSweeps.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
 
 // sweepParams mirrors scenario.Params with stable lowercase JSON names.
 type sweepParams struct {
-	Epsilon float64 `json:"epsilon"`
-	Delta   float64 `json:"delta"`
-	Rho     float64 `json:"rho"`
-	Bias    float64 `json:"bias"`
-	Mu      float64 `json:"mu"`
-	D       int     `json:"d"`
+	Epsilon   float64 `json:"epsilon"`
+	Delta     float64 `json:"delta"`
+	Rho       float64 `json:"rho"`
+	Bias      float64 `json:"bias"`
+	Mu        float64 `json:"mu"`
+	D         int     `json:"d"`
+	CrashProb float64 `json:"crash_prob"`
+	CrashBy   int     `json:"crash_by"`
+	StallProb float64 `json:"stall_prob"`
+	StallBy   int     `json:"stall_by"`
+	StallDur  int     `json:"stall_dur"`
 }
 
 // sweepRequest mirrors scenario.Grid with stable lowercase JSON names.
@@ -386,12 +427,17 @@ func (r sweepRequest) grid() scenario.Grid {
 	return scenario.Grid{
 		Scenarios: r.Scenarios,
 		Params: scenario.Params{
-			Epsilon: r.Params.Epsilon,
-			Delta:   r.Params.Delta,
-			Rho:     r.Params.Rho,
-			Bias:    r.Params.Bias,
-			Mu:      r.Params.Mu,
-			D:       r.Params.D,
+			Epsilon:   r.Params.Epsilon,
+			Delta:     r.Params.Delta,
+			Rho:       r.Params.Rho,
+			Bias:      r.Params.Bias,
+			Mu:        r.Params.Mu,
+			D:         r.Params.D,
+			CrashProb: r.Params.CrashProb,
+			CrashBy:   r.Params.CrashBy,
+			StallProb: r.Params.StallProb,
+			StallBy:   r.Params.StallBy,
+			StallDur:  r.Params.StallDur,
 		},
 		Ks:      r.Ks,
 		Ds:      r.Ds,
@@ -452,7 +498,21 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// Count a sweep only once its grid expanded and passed the size guard:
 	// malformed and oversized requests must not inflate the sweep metrics.
-	s.activeSweeps.Add(1)
+	// The try-acquire doubles as admission control: past the configured
+	// in-flight cap the request is shed immediately with 503 + Retry-After
+	// instead of queueing unboundedly behind the worker pool, keeping latency
+	// bounded for the sweeps already streaming. Shedding is a valid answer
+	// precisely because sweeps are pure: the client retries the identical
+	// request later and (thanks to the cache) may not even pay for it twice.
+	if n := s.activeSweeps.Add(1); s.cfg.MaxInflightSweeps > 0 && n > int64(s.cfg.MaxInflightSweeps) {
+		s.activeSweeps.Add(-1)
+		s.shedSweeps.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"server at capacity: %d sweeps already in flight (limit %d), retry shortly",
+			n-1, s.cfg.MaxInflightSweeps)
+		return
+	}
 	s.totalSweeps.Add(1)
 	defer s.activeSweeps.Add(-1)
 

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -584,5 +585,192 @@ func TestRunFlagValidation(t *testing.T) {
 		if err := run(args, &logw); err == nil {
 			t.Errorf("args %v: expected an error", args)
 		}
+	}
+}
+
+// TestSweepShedsPastInflightCap pins the load-shedding satellite: with the
+// cap reached, a /sweep is rejected with 503 + Retry-After before any work
+// runs, the shed is counted, and totalSweeps stays untouched. The in-flight
+// state is injected directly — the counter is the admission token, so bumping
+// it is exactly what a slow concurrent sweep would do.
+func TestSweepShedsPastInflightCap(t *testing.T) {
+	t.Parallel()
+
+	srv, err := newServer(serverConfig{CacheSize: 16, MaxInflightSweeps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	body := `{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 1}`
+
+	srv.activeSweeps.Add(1) // one sweep already in flight
+	resp := postSweep(t, ts.URL, body)
+	var errBody map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status at capacity = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 response carries no Retry-After header")
+	}
+	if errBody["error"] == "" {
+		t.Errorf("503 response carries no JSON error payload: %v", errBody)
+	}
+	if got := srv.shedSweeps.Load(); got != 1 {
+		t.Errorf("shedSweeps = %d after one shed, want 1", got)
+	}
+	if got := srv.totalSweeps.Load(); got != 0 {
+		t.Errorf("a shed request inflated totalSweeps to %d", got)
+	}
+	if got := srv.activeSweeps.Load(); got != 1 {
+		t.Errorf("activeSweeps = %d after a shed, want the injected 1", got)
+	}
+
+	// Capacity freed: the identical request now runs to completion, and the
+	// shed counter shows up in /stats.
+	srv.activeSweeps.Add(-1)
+	rows := decodeRows(t, postSweep(t, ts.URL, body))
+	if len(rows) != 1 || rows[0].Error != "" || rows[0].Stats == nil {
+		t.Fatalf("post-shed sweep rows = %+v", rows)
+	}
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ShedSweeps != 1 || st.TotalSweeps != 1 {
+		t.Errorf("/stats shed=%d total=%d, want 1/1", st.ShedSweeps, st.TotalSweeps)
+	}
+}
+
+// TestSweepUnlimitedInflightByDefault pins the default: without a cap, the
+// admission check never sheds however high the in-flight count.
+func TestSweepUnlimitedInflightByDefault(t *testing.T) {
+	t.Parallel()
+
+	srv, err := newServer(serverConfig{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	srv.activeSweeps.Add(1 << 20)
+	rows := decodeRows(t, postSweep(t, ts.URL,
+		`{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 1}`))
+	if len(rows) != 1 || rows[0].Error != "" {
+		t.Fatalf("uncapped server shed a sweep: %+v", rows)
+	}
+	if got := srv.shedSweeps.Load(); got != 0 {
+		t.Errorf("uncapped server counted %d sheds", got)
+	}
+}
+
+// failingStore errors on every append: the minimal stand-in for a full disk
+// or a yanked volume beneath the durable store.
+type failingStore struct{}
+
+func (failingStore) Load(func(cache.Entry)) error { return nil }
+func (failingStore) Append(cache.Entry) error     { return errors.New("disk full") }
+func (failingStore) Snapshot([]cache.Entry) error { return errors.New("disk full") }
+func (failingStore) Close() error                 { return nil }
+
+// TestHealthzReportsStoreDegradation pins the healthz satellite: the probe
+// answers {"status":"ok"} while the store works and flips the body to
+// {"status":"degraded"} with a store_errors count once an append has failed —
+// still HTTP 200, because a memory-only replica is alive.
+func TestHealthzReportsStoreDegradation(t *testing.T) {
+	t.Parallel()
+
+	srv, err := newServer(serverConfig{CacheSize: 16, Store: failingStore{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	get := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get(); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthy probe = %d %v", code, body)
+	}
+
+	// A computed sweep write-behinds into the failing store synchronously;
+	// the probe must flip on the next scrape.
+	decodeRows(t, postSweep(t, ts.URL,
+		`{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 1}`))
+	code, body := get()
+	if code != http.StatusOK {
+		t.Fatalf("degraded probe status = %d, want 200 (the replica is alive)", code)
+	}
+	if body["status"] != "degraded" {
+		t.Errorf("degraded probe body = %v", body)
+	}
+	if n, ok := body["store_errors"].(float64); !ok || n < 1 {
+		t.Errorf("degraded probe carries no store_errors count: %v", body)
+	}
+}
+
+// TestSweepFaultParams drives the fault knobs through the HTTP surface: a
+// faulty request runs, reports survivor statistics below full strength, keys
+// the cache separately from the fault-free twin, and invalid knobs fail with
+// a 400 before any work.
+func TestSweepFaultParams(t *testing.T) {
+	t.Parallel()
+
+	ts := newTestServer(t, serverConfig{CacheSize: 64})
+	faultFree := `{"scenarios": ["known-k"], "ks": [4], "ds": [8], "trials": 16, "seed": 3}`
+	faulty := `{"scenarios": ["known-k"], "ks": [4], "ds": [8], "trials": 16, "seed": 3,
+	            "params": {"crash_prob": 0.5, "crash_by": 64}}`
+
+	plain := decodeRows(t, postSweep(t, ts.URL, faultFree))
+	crashed := decodeRows(t, postSweep(t, ts.URL, faulty))
+	if len(plain) != 1 || len(crashed) != 1 {
+		t.Fatalf("row counts %d and %d, want 1 and 1", len(plain), len(crashed))
+	}
+	if plain[0].Stats.MeanSurvivors() != 4 {
+		t.Errorf("fault-free sweep reports %v mean survivors, want 4", plain[0].Stats.MeanSurvivors())
+	}
+	if got := crashed[0].Stats.MeanSurvivors(); got >= 4 || got <= 0 {
+		t.Errorf("crashing half the agents left %v mean survivors, want strictly between 0 and 4", got)
+	}
+	// Same coordinates, different fault plan: the cache must not conflate
+	// them (the plan is part of the key).
+	if crashed[0].Cached {
+		t.Error("faulty sweep served the fault-free twin from the cache — the key ignores the plan")
+	}
+
+	// The faulty variant scenarios work over HTTP with no knobs at all.
+	variant := decodeRows(t, postSweep(t, ts.URL,
+		`{"scenarios": ["known-k-faulty"], "ks": [4], "ds": [8], "trials": 16, "seed": 3}`))
+	if len(variant) != 1 || variant[0].Error != "" {
+		t.Fatalf("faulty variant rows = %+v", variant)
+	}
+
+	// Invalid plans fail the request up front.
+	resp := postSweep(t, ts.URL,
+		`{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 1,
+		  "params": {"crash_prob": 0.5}}`) // crash_by missing
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("crash_prob without crash_by: status %d, want 400", resp.StatusCode)
 	}
 }

@@ -8,6 +8,7 @@
 //
 //	antsweep -algs known-k,uniform -k 1,4,16,64 -d 32,128 -trials 50
 //	         [-eps 0.5] [-delta 0.5] [-seed 1] [-format ascii] [-max-time N]
+//	         [-crash-prob 0 -crash-by N] [-stall-prob 0 -stall-by N -stall-dur N]
 //	         [-cpuprofile sweep.pprof] [-memprofile heap.pprof]
 //
 // The -algs names come from the scenario registry; -list enumerates them.
@@ -15,6 +16,13 @@
 // -trials values execute in constant memory. -cpuprofile and -memprofile
 // write pprof profiles of the sweep (the whole run, flags included), so the
 // hot path can be profiled on any real workload without patching the source.
+//
+// The -crash-*/-stall-* flags subject every agent to the fault model of
+// DESIGN.md §10 (fail-stop crashes and fail-stall pauses drawn per trial);
+// the registered -faulty scenario variants carry a default plan without any
+// flags. Faulty sweeps report two extra columns: the mean number of agents
+// that survived past the first hit, and the competitive ratio rebased on
+// that survivor count k′ (time / (D + D²/k′)).
 package main
 
 import (
@@ -52,6 +60,11 @@ func run(args []string, out io.Writer) error {
 		rho      = fs.Float64("rho", 2, "rho (rho-approx)")
 		mu       = fs.Float64("mu", 2, "mu (levy)")
 		seed     = fs.Uint64("seed", 1, "base random seed")
+		crashP   = fs.Float64("crash-prob", 0, "per-agent fail-stop probability per trial (0 = no crashes)")
+		crashBy  = fs.Int("crash-by", 0, "crash times are drawn uniformly over [0, crash-by) (required with -crash-prob)")
+		stallP   = fs.Float64("stall-prob", 0, "per-agent fail-stall probability per trial (0 = no stalls)")
+		stallBy  = fs.Int("stall-by", 0, "stall start times are drawn uniformly over [0, stall-by) (required with -stall-prob)")
+		stallDur = fs.Int("stall-dur", 0, "stall lengths are drawn uniformly over [1, stall-dur] (required with -stall-prob)")
 		maxTime  = fs.Int("max-time", 0, "per-trial time cap (0 = engine default)")
 		format   = fs.String("format", "ascii", "output format: ascii, markdown or csv")
 		workers  = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
@@ -128,12 +141,16 @@ func run(args []string, out io.Writer) error {
 	// by per-shard accumulators, so memory stays flat however large -trials.
 	cells, err := scenario.Grid{
 		Scenarios: names,
-		Params:    scenario.Params{Epsilon: *eps, Delta: *delta, Rho: *rho, Mu: *mu},
-		Ks:        ks,
-		Ds:        ds,
-		Trials:    *trials,
-		MaxTime:   *maxTime,
-		Seed:      *seed,
+		Params: scenario.Params{
+			Epsilon: *eps, Delta: *delta, Rho: *rho, Mu: *mu,
+			CrashProb: *crashP, CrashBy: *crashBy,
+			StallProb: *stallP, StallBy: *stallBy, StallDur: *stallDur,
+		},
+		Ks:      ks,
+		Ds:      ds,
+		Trials:  *trials,
+		MaxTime: *maxTime,
+		Seed:    *seed,
 	}.Cells()
 	if err != nil {
 		return err
@@ -143,8 +160,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	tbl := table.New("antsweep", "algorithm", "k", "D", "trials", "success", "mean time",
-		"median time", "D + D²/k", "ratio", "speed-up vs k=1")
+	// Faulty sweeps (explicit flags or a -faulty scenario variant) get two
+	// extra columns: mean survivors and the k′-rebased competitive ratio.
+	// Fault-free output keeps the historical shape.
+	faulty := false
+	for _, cell := range cells {
+		if cell.Faults != nil {
+			faulty = true
+			break
+		}
+	}
+	cols := []string{"algorithm", "k", "D", "trials", "success", "mean time",
+		"median time", "D + D²/k", "ratio", "speed-up vs k=1"}
+	if faulty {
+		cols = append(cols, "survivors", "k'-ratio")
+	}
+	tbl := table.New("antsweep", cols...)
 	timeAtK1 := 0.0
 	for i, cell := range cells {
 		est := stats[i]
@@ -152,10 +183,17 @@ func run(args []string, out io.Writer) error {
 			timeAtK1 = est.MeanTime()
 		}
 		lb := antsearch.LowerBound(cell.D, cell.K)
-		tbl.MustAddRow(cell.Scenario, cell.K, cell.D, est.Trials, est.SuccessRate(), est.MeanTime(),
-			est.MedianTime(), lb, est.MeanTime()/lb, antsearch.Speedup(timeAtK1, est.MeanTime()))
+		row := []any{cell.Scenario, cell.K, cell.D, est.Trials, est.SuccessRate(), est.MeanTime(),
+			est.MedianTime(), lb, est.MeanTime() / lb, antsearch.Speedup(timeAtK1, est.MeanTime())}
+		if faulty {
+			row = append(row, est.MeanSurvivors(), est.MeanSurvivorRatio())
+		}
+		tbl.MustAddRow(row...)
 	}
 	tbl.AddNote("seed %d, %d trials per cell; speed-up is relative to the first k value listed", *seed, *trials)
+	if faulty {
+		tbl.AddNote("faults active: survivors counts agents alive past the first hit; k'-ratio rebases the bound on them")
+	}
 
 	switch strings.ToLower(*format) {
 	case "ascii", "":

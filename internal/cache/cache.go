@@ -35,8 +35,9 @@ type Key string
 // the fingerprint construction changes (fields added, rendering or separator
 // changed), so persisted entries keyed by the old scheme are ignored rather
 // than misread. v1 was the unprefixed, \x1f-separated scheme of PR 2; v2
-// length-prefixes every part (collision-proof) and added this prefix.
-const KeySchemaVersion = 2
+// length-prefixes every part (collision-proof) and added this prefix; v3
+// added the fault-plan part.
+const KeySchemaVersion = 3
 
 // keyPrefix is the prefix of a current-schema Key, derived from
 // KeySchemaVersion so bumping the version cannot leave the prefix behind.
@@ -62,19 +63,28 @@ func Fingerprint(parts ...any) Key {
 
 // CellKey fingerprints a resolved cell together with the sweep parameters
 // that built its factory: scenario name, every Params knob, k, D, trial
-// budget, time cap, seed and the adversary identity. Two cells share a key
-// exactly when the engine is guaranteed to produce identical TrialStats for
-// them. The returned key carries the schema-version prefix (see Key).
+// budget, time cap, seed, the adversary identity and the resolved fault
+// plan. The fault part reads the cell's plan, not the raw Params knobs: grid
+// expansion may resolve the plan from the scenario's registered default (the
+// -faulty variants), and it is the resolved plan the engine executes. Two
+// cells share a key exactly when the engine is guaranteed to produce
+// identical TrialStats for them. The returned key carries the schema-version
+// prefix (see Key).
 func CellKey(c scenario.Cell, p scenario.Params) Key {
 	adv := "uniform-ring" // the runner's default placement at distance D
 	if c.Adversary != nil {
 		adv = c.Adversary.Name()
+	}
+	faults := "none" // fault.Plan.String() of an inactive plan
+	if c.Faults != nil {
+		faults = c.Faults.String()
 	}
 	return Key(keyPrefix) + Fingerprint(
 		"scenario", c.Scenario,
 		"eps", p.Epsilon, "delta", p.Delta, "rho", p.Rho, "bias", p.Bias, "mu", p.Mu, "paramD", p.D,
 		"k", c.K, "d", c.D, "trials", c.Trials, "maxTime", c.MaxTime, "seed", c.Seed,
 		"adversary", adv,
+		"faults", faults,
 	)
 }
 
@@ -102,6 +112,10 @@ type Stats struct {
 	// serving from memory when the store misbehaves; this counter is how the
 	// degradation surfaces.
 	StoreErrors uint64 `json:"store_errors"`
+	// StoreRetries counts append attempts the store retried after a
+	// transient failure (0 for stores without retry support). A non-zero
+	// value with zero StoreErrors means the retries rode the failures out.
+	StoreRetries uint64 `json:"store_retries"`
 }
 
 // Cache is a bounded, concurrency-safe LRU of TrialStats keyed by cell
@@ -352,8 +366,7 @@ func (c *Cache) insertLocked(key Key, val sim.TrialStats) {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:        c.hits,
 		Misses:      c.misses,
 		Joined:      c.joined,
@@ -364,4 +377,12 @@ func (c *Cache) Stats() Stats {
 		Persisted:   c.persisted,
 		StoreErrors: c.storeErrors,
 	}
+	store := c.store
+	c.mu.Unlock()
+	// The retry counter lives in the store; read it off the cache lock so a
+	// stats scrape never serialises behind it.
+	if r, ok := store.(interface{ Retries() uint64 }); ok {
+		st.StoreRetries = r.Retries()
+	}
+	return st
 }

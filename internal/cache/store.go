@@ -16,6 +16,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"antsearch/internal/sim"
 )
@@ -24,8 +26,11 @@ import (
 // record carrying a different version is skipped on load — ignored, never
 // misread — so an encoding change only costs recomputation, not corruption.
 // Bump it whenever the wire form of a record (the sim.TrialStats JSON
-// encoding included) changes incompatibly.
-const StoreSchemaVersion = 1
+// encoding included) changes incompatibly. v1 predates the fault model; v2
+// added the Survivors and SurvivorRatio summaries to sim.TrialStats (a v1
+// record decoded as v2 would report zeroed survivor aggregates — a misread,
+// not a recomputation, hence the bump).
+const StoreSchemaVersion = 2
 
 // Entry is one persisted (key, aggregate) pair.
 type Entry struct {
@@ -80,14 +85,34 @@ const (
 // truncated, so every crash point leaves a loadable superset or equal set of
 // the acknowledged state.
 type DiskStore struct {
-	mu      sync.Mutex
-	dir     string
-	log     *os.File
-	lock    *os.File // holds the directory's exclusive flock
-	fsync   bool     // fsync the log after every append
-	closed  bool
-	skipped int // records dropped by the last Load (schema or parse)
+	mu         sync.Mutex
+	dir        string
+	log        *os.File
+	lock       *os.File // holds the directory's exclusive flock
+	fsync      bool     // fsync the log after every append
+	maxRetries int
+	backoff    time.Duration
+	closed     bool
+	skipped    int // records dropped by the last Load (schema or parse)
+	// retries counts retried append attempts. Atomic so Retries (the /stats
+	// path) never waits behind an Append sleeping through its backoff.
+	retries atomic.Uint64
+	// appendFault, when non-nil, is consulted before every physical log
+	// write; a non-nil return fails the attempt. It exists so tests can
+	// inject transient append failures without breaking the log file.
+	appendFault func() error
 }
+
+// DefaultAppendRetries is the retry budget of a failed append when
+// DiskStoreOptions.AppendRetries is zero, and DefaultRetryBackoff the pause
+// before the first retry (doubling per further attempt). Two retries within
+// ~15ms ride out the transient failures worth riding out — a full disk being
+// cleaned up, a network filesystem hiccup — without stalling the write-behind
+// path noticeably when the failure is permanent.
+const (
+	DefaultAppendRetries = 2
+	DefaultRetryBackoff  = 5 * time.Millisecond
+)
 
 // DiskStoreOptions tune a DiskStore beyond the defaults of OpenDiskStore.
 type DiskStoreOptions struct {
@@ -98,6 +123,14 @@ type DiskStoreOptions struct {
 	// the Monte-Carlo work a cell represents, but measurable for tiny cells,
 	// which is why it is opt-in.
 	FsyncAppends bool
+	// AppendRetries is the number of additional attempts a failed Append
+	// makes before reporting the error and letting the cache degrade to
+	// memory-only serving. Zero selects DefaultAppendRetries; negative
+	// disables retrying.
+	AppendRetries int
+	// RetryBackoff is the pause before the first retry, doubling per further
+	// attempt. Zero selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // OpenDiskStore opens (creating if needed) the store rooted at dir with
@@ -136,7 +169,21 @@ func OpenDiskStoreWith(dir string, opts DiskStoreOptions) (*DiskStore, error) {
 		lock.Close()
 		return nil, fmt.Errorf("cache: open store log: %w", err)
 	}
-	return &DiskStore{dir: dir, log: log, lock: lock, fsync: opts.FsyncAppends}, nil
+	retries := opts.AppendRetries
+	switch {
+	case retries == 0:
+		retries = DefaultAppendRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	return &DiskStore{
+		dir: dir, log: log, lock: lock,
+		fsync: opts.FsyncAppends, maxRetries: retries, backoff: backoff,
+	}, nil
 }
 
 // Load implements Store: snapshot first, then the log, so log records
@@ -195,6 +242,12 @@ func (s *DiskStore) Skipped() int {
 
 // Append implements Store: one marshalled record, one line, one write — and,
 // with DiskStoreOptions.FsyncAppends, one flush before the acknowledgement.
+// Failed attempts are retried with exponential backoff up to the configured
+// budget before the error (and with it the cache's memory-only degradation)
+// is reported; retried records start on a fresh line, so a torn partial write
+// from the failed attempt costs one skipped line on load, never a lost
+// record. The rare retry sleeps under s.mu — Snapshot/Load wait them out —
+// which is acceptable for a path whose steady state is one clean line-write.
 //
 //antlint:blocking
 func (s *DiskStore) Append(e Entry) error {
@@ -207,16 +260,51 @@ func (s *DiskStore) Append(e Entry) error {
 	if s.closed {
 		return fmt.Errorf("cache: append to closed store")
 	}
-	if _, err := s.log.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("cache: append to store: %w", err)
-	}
-	if s.fsync {
-		if err := s.log.Sync(); err != nil {
-			return fmt.Errorf("cache: append to store: fsync: %w", err)
+	payload := append(line, '\n')
+	var lastErr error
+	for attempt := 0; attempt <= s.maxRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			time.Sleep(s.backoff << (attempt - 1))
 		}
+		if attempt == 1 {
+			// The failed attempt may have torn a partial line into the log; a
+			// leading newline terminates it so the retried record parses
+			// (empty lines are skipped on load). Built fresh — payload shares
+			// line's backing array, so rewriting it in place would corrupt
+			// the record.
+			payload = append(append([]byte{'\n'}, line...), '\n')
+		}
+		if lastErr = s.writeLocked(payload); lastErr != nil {
+			continue
+		}
+		if s.fsync {
+			if err := s.log.Sync(); err != nil {
+				lastErr = fmt.Errorf("cache: append to store: fsync: %w", err)
+				continue
+			}
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// writeLocked performs one physical append attempt. The caller holds s.mu.
+func (s *DiskStore) writeLocked(payload []byte) error {
+	if s.appendFault != nil {
+		if err := s.appendFault(); err != nil {
+			return fmt.Errorf("cache: append to store: %w", err)
+		}
+	}
+	if _, err := s.log.Write(payload); err != nil {
+		return fmt.Errorf("cache: append to store: %w", err)
 	}
 	return nil
 }
+
+// Retries reports how many append attempts were retried over the store's
+// lifetime; cache.Stats surfaces it as store_retries.
+func (s *DiskStore) Retries() uint64 { return s.retries.Load() }
 
 // Snapshot implements Store: write every entry to a temp file, fsync, rename
 // over the old snapshot, then truncate the log. A crash before the rename

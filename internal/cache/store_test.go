@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"antsearch/internal/sim"
 )
@@ -453,5 +454,194 @@ func TestDiskStoreFsyncAppends(t *testing.T) {
 	defer s2.Close()
 	if got := loadAll(t, s2); !reflect.DeepEqual(got, want) {
 		t.Errorf("reloaded %+v, want %+v", got, want)
+	}
+}
+
+// TestDiskStoreAppendRetriesTransientFailure pins the retry satellite: an
+// append whose first physical write fails transiently is retried with
+// backoff, succeeds, counts its retries, and leaves the log loadable — the
+// torn partial line from the failed attempt costs at most one skipped record.
+func TestDiskStoreAppendRetriesTransientFailure(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStoreWith(dir, DiskStoreOptions{RetryBackoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 1
+	s.appendFault = func() error {
+		if failures > 0 {
+			failures--
+			return fmt.Errorf("transient: device busy")
+		}
+		return nil
+	}
+	k := testKeyV2("retry", 1)
+	v := testStats(1)
+	if err := s.Append(Entry{Key: k, Stats: v}); err != nil {
+		t.Fatalf("append with one transient failure should ride it out, got %v", err)
+	}
+	if got := s.Retries(); got != 1 {
+		t.Errorf("Retries() = %d after one retried append, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := loadAll(t, s2)
+	if !reflect.DeepEqual(got, map[Key]sim.TrialStats{k: v}) {
+		t.Errorf("reloaded %+v, want the retried entry intact", got)
+	}
+}
+
+// TestDiskStoreAppendTornLineRecovery simulates the worst transient case the
+// retry path is designed for: the first attempt writes a PARTIAL line before
+// failing. The retried record is newline-prefixed, so the torn fragment ends
+// at the next newline and costs exactly one skipped line on load while the
+// retried entry survives.
+func TestDiskStoreAppendTornLineRecovery(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	s, err := OpenDiskStoreWith(dir, DiskStoreOptions{RetryBackoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := true
+	s.appendFault = func() error {
+		if torn {
+			torn = false
+			// Half a record reaches the disk before the failure.
+			if _, err := s.log.WriteString(`{"key":"tor`); err != nil {
+				return err
+			}
+			return fmt.Errorf("transient: write interrupted")
+		}
+		return nil
+	}
+	k := testKeyV2("torn", 1)
+	v := testStats(2)
+	if err := s.Append(Entry{Key: k, Stats: v}); err != nil {
+		t.Fatalf("append after a torn write should succeed on retry, got %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := loadAll(t, s2)
+	if !reflect.DeepEqual(got, map[Key]sim.TrialStats{k: v}) {
+		t.Errorf("reloaded %+v, want the retried entry despite the torn fragment", got)
+	}
+	if skipped := s2.Skipped(); skipped != 1 {
+		t.Errorf("torn fragment should cost exactly 1 skipped record, got %d", skipped)
+	}
+}
+
+// TestDiskStoreAppendExhaustsRetries pins the persistent-failure path: when
+// every attempt fails, Append returns the last error after maxRetries extra
+// attempts, and the retry counter records them.
+func TestDiskStoreAppendExhaustsRetries(t *testing.T) {
+	t.Parallel()
+
+	s, err := OpenDiskStoreWith(t.TempDir(), DiskStoreOptions{
+		AppendRetries: 3,
+		RetryBackoff:  time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	attempts := 0
+	s.appendFault = func() error {
+		attempts++
+		return fmt.Errorf("persistent: read-only filesystem")
+	}
+	err = s.Append(Entry{Key: testKeyV2("doomed", 1), Stats: testStats(3)})
+	if err == nil {
+		t.Fatal("append against a persistently failing disk should error")
+	}
+	if attempts != 4 { // the initial try + 3 retries
+		t.Errorf("made %d attempts, want 4", attempts)
+	}
+	if got := s.Retries(); got != 3 {
+		t.Errorf("Retries() = %d, want 3", got)
+	}
+}
+
+// TestDiskStoreAppendRetriesDisabled pins the opt-out: negative
+// AppendRetries means a single attempt, preserving the historical
+// fail-fast behaviour.
+func TestDiskStoreAppendRetriesDisabled(t *testing.T) {
+	t.Parallel()
+
+	s, err := OpenDiskStoreWith(t.TempDir(), DiskStoreOptions{AppendRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	attempts := 0
+	s.appendFault = func() error {
+		attempts++
+		return fmt.Errorf("some failure")
+	}
+	if err := s.Append(Entry{Key: testKeyV2("oneshot", 1), Stats: testStats(4)}); err == nil {
+		t.Fatal("append should fail without retries")
+	}
+	if attempts != 1 {
+		t.Errorf("made %d attempts with retries disabled, want 1", attempts)
+	}
+	if got := s.Retries(); got != 0 {
+		t.Errorf("Retries() = %d with retries disabled, want 0", got)
+	}
+}
+
+// TestCacheStatsSurfacesStoreRetries pins the /stats wiring: a retried
+// append shows up as StoreRetries on the cache's stats without counting as a
+// store error.
+func TestCacheStatsSurfacesStoreRetries(t *testing.T) {
+	t.Parallel()
+
+	s, err := OpenDiskStoreWith(t.TempDir(), DiskStoreOptions{RetryBackoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 2
+	s.appendFault = func() error {
+		if failures > 0 {
+			failures--
+			return fmt.Errorf("transient")
+		}
+		return nil
+	}
+	c, err := NewWithStore(8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Do(context.Background(), testKeyV2("cell", 1),
+		func(context.Context) (sim.TrialStats, error) { return testStats(1), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.StoreRetries != 2 {
+		t.Errorf("StoreRetries = %d, want 2", st.StoreRetries)
+	}
+	if st.StoreErrors != 0 {
+		t.Errorf("StoreErrors = %d after a successful retried append, want 0", st.StoreErrors)
+	}
+	if st.Persisted != 1 {
+		t.Errorf("Persisted = %d, want 1", st.Persisted)
 	}
 }

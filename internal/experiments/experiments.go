@@ -1,4 +1,4 @@
-// Package experiments defines the reproduction experiments E1–E10 listed in
+// Package experiments defines the reproduction experiments E1–E11 listed in
 // DESIGN.md. The paper has no empirical tables or figures — it is a theory
 // paper — so each experiment turns one quantitative claim (a theorem, a
 // corollary, or a modelling assertion from the introduction) into a concrete
@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/fault"
 	"antsearch/internal/scenario"
 	"antsearch/internal/sim"
 	"antsearch/internal/table"
@@ -140,6 +141,7 @@ func All() []Experiment {
 		experimentE8(),
 		experimentE9(),
 		experimentE10(),
+		experimentE11(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps
@@ -170,6 +172,7 @@ type sweepCell struct {
 	k, d    int
 	trials  int
 	maxTime int
+	faults  *fault.Plan // nil = fault-free
 }
 
 // runSweep executes the cells through the scenario sweep engine (streaming,
@@ -186,6 +189,7 @@ func runSweep(ctx context.Context, cfg Config, cells []sweepCell) ([]sim.TrialSt
 			Trials:   c.trials,
 			MaxTime:  c.maxTime,
 			Seed:     xrand.DeriveSeed(cfg.Seed, hashLabel(c.label)),
+			Faults:   c.faults,
 		}
 	}
 	stats, err := scenario.Runner{Workers: cfg.Workers}.Run(ctx, resolved)

@@ -10,8 +10,8 @@ func TestRegistry(t *testing.T) {
 	t.Parallel()
 
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("registry has %d experiments, want 10", len(all))
+	if len(all) != 11 {
+		t.Fatalf("registry has %d experiments, want 11", len(all))
 	}
 	seen := make(map[string]bool)
 	for i, e := range all {
@@ -27,7 +27,7 @@ func TestRegistry(t *testing.T) {
 		}
 	}
 	// IDs are sorted numerically: E2 before E10.
-	if all[0].ID != "E1" || all[len(all)-1].ID != "E10" {
+	if all[0].ID != "E1" || all[len(all)-1].ID != "E11" {
 		t.Errorf("registry order wrong: first %s, last %s", all[0].ID, all[len(all)-1].ID)
 	}
 
@@ -157,6 +157,37 @@ func TestQuickExperimentsE1E2(t *testing.T) {
 				if !c.Pass {
 					t.Errorf("%s check %s failed: %s", id, c.Name, c.Detail)
 				}
+			}
+		}
+	}
+}
+
+// TestQuickExperimentE11 runs the fault-injection experiment at quick scale:
+// it exercises the fault plans end to end through the experiment sweep path
+// and asserts the graceful-degradation checks hold at the small scale too.
+func TestQuickExperimentE11(t *testing.T) {
+	t.Parallel()
+
+	exp, ok := ByID("E11")
+	if !ok {
+		t.Fatal("E11 missing")
+	}
+	out, err := exp.Run(context.Background(), Config{Seed: 7, Scale: Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 2 {
+		t.Fatalf("E11 produced %d tables, want 2", len(out.Tables))
+	}
+	for _, tbl := range out.Tables {
+		if tbl.NumRows() == 0 {
+			t.Errorf("E11 table %q is empty", tbl.Title())
+		}
+	}
+	if !out.Pass() {
+		for _, c := range out.Checks {
+			if !c.Pass {
+				t.Errorf("E11 check %s failed: %s", c.Name, c.Detail)
 			}
 		}
 	}

@@ -26,6 +26,7 @@ var DetrandPackages = []string{
 	"antsearch/internal/trajectory",
 	"antsearch/internal/grid",
 	"antsearch/internal/xrand",
+	"antsearch/internal/fault",
 }
 
 // detrandImports are the packages whose import into engine code is a

@@ -6,6 +6,7 @@ import (
 	"antsearch/internal/agent"
 	"antsearch/internal/baseline"
 	"antsearch/internal/core"
+	"antsearch/internal/fault"
 )
 
 // The built-in scenarios: the paper's algorithms, the natural extensions and
@@ -103,5 +104,37 @@ func init() {
 			return baseline.KnownDFactory(p.D)
 		},
 		Ks: []int{1, 4}, Ds: defaultDs, Trials: defaultTrials,
+	})
+
+	// Faulty variants of the core scenarios: the same algorithms under the
+	// default fault plan, so "how does known-k degrade under crashes?" is one
+	// registry name away in every tool. Explicit Params fault knobs override
+	// the default plan; the variants exist so the common case needs none.
+	defaultFaults := &fault.Plan{
+		CrashProb: 0.25, CrashBy: 64,
+		StallProb: 0.25, StallBy: 64, StallDur: 64,
+	}
+	MustRegister(Scenario{
+		Name:        "known-k-faulty",
+		Description: "known-k under the default fault plan (25% crash, 25% stall by t=64)",
+		Build:       func(Params) (agent.Factory, error) { return core.Factory(), nil },
+		Faults:      defaultFaults,
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "uniform-faulty",
+		Description: "uniform under the default fault plan (25% crash, 25% stall by t=64)",
+		Uniform:     true,
+		Build:       func(p Params) (agent.Factory, error) { return core.UniformFactory(p.Epsilon) },
+		Faults:      defaultFaults,
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
+	})
+	MustRegister(Scenario{
+		Name:        "harmonic-restart-faulty",
+		Description: "harmonic-restart under the default fault plan (25% crash, 25% stall by t=64)",
+		Uniform:     true,
+		Build:       func(p Params) (agent.Factory, error) { return core.HarmonicRestartFactory(p.Delta) },
+		Faults:      defaultFaults,
+		Ks:          defaultKs, Ds: defaultDs, Trials: defaultTrials,
 	})
 }

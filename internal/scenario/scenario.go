@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/fault"
 )
 
 // Params carries the tunable knobs a scenario constructor may consume. Each
@@ -44,6 +45,36 @@ type Params struct {
 	// fill it in per cell when left zero; resolving known-d without it is an
 	// error.
 	D int
+
+	// CrashProb/CrashBy/StallProb/StallBy/StallDur parameterise the fault
+	// model (fault.Plan, DESIGN.md §10): each agent independently fail-stops
+	// with probability CrashProb at a time uniform in [0, CrashBy), and
+	// fail-stalls with probability StallProb from a start uniform in
+	// [0, StallBy) for a duration uniform in [1, StallDur]. All-zero (the
+	// default) leaves the agents perfectly reliable; FaultPlan assembles the
+	// fields into the plan the sweep engine applies.
+	CrashProb float64
+	CrashBy   int
+	StallProb float64
+	StallBy   int
+	StallDur  int
+}
+
+// FaultPlan assembles the fault knobs into a plan, or nil when they are all
+// zero (the fault-free default, which keeps runs bit-identical to builds that
+// predate the fault model).
+func (p Params) FaultPlan() *fault.Plan {
+	plan := fault.Plan{
+		CrashProb: p.CrashProb,
+		CrashBy:   p.CrashBy,
+		StallProb: p.StallProb,
+		StallBy:   p.StallBy,
+		StallDur:  p.StallDur,
+	}
+	if plan.IsZero() {
+		return nil
+	}
+	return &plan
 }
 
 // DefaultParams returns the parameter values the CLIs use as flag defaults.
@@ -71,6 +102,11 @@ type Scenario struct {
 	// interactive semantics hand the agents the raw k (antsim's historical
 	// behaviour) rather than the advice the factory would derive from it.
 	Single func(p Params, k int) (agent.Algorithm, error)
+
+	// Faults, when non-nil, is the scenario's default fault plan: the faulty
+	// registry variants (known-k-faulty, ...) carry their crash/stall model
+	// here. Explicit Params fault knobs override it per sweep.
+	Faults *fault.Plan
 
 	// Ks, Ds and Trials are the default sweep ranges and trial budget used
 	// when a caller asks for the scenario's own grid.

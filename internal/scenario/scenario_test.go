@@ -10,7 +10,8 @@ func TestBuiltinsRegistered(t *testing.T) {
 	t.Parallel()
 
 	want := []string{"known-k", "rho-approx", "uniform", "harmonic", "harmonic-restart",
-		"approx-hedge", "single-spiral", "random-walk", "levy", "sector-sweep", "known-d"}
+		"approx-hedge", "single-spiral", "random-walk", "levy", "sector-sweep", "known-d",
+		"known-k-faulty", "uniform-faulty", "harmonic-restart-faulty"}
 	for _, name := range want {
 		s, ok := Get(name)
 		if !ok {

@@ -7,6 +7,7 @@ import (
 
 	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
+	"antsearch/internal/fault"
 	"antsearch/internal/parallel"
 	"antsearch/internal/sim"
 )
@@ -30,6 +31,10 @@ type Cell struct {
 	// Adversary places the treasure each trial. Nil selects the uniform ring
 	// at distance D, the default placement of all experiments.
 	Adversary adversary.Strategy
+	// Faults, when non-nil, applies the fault model to every trial of the
+	// cell (grid expansion resolves it from explicit Params knobs or the
+	// scenario's registered default).
+	Faults *fault.Plan
 }
 
 // Runner executes sweep cells through the streaming Monte-Carlo engine:
@@ -114,6 +119,7 @@ func (r Runner) RunOne(ctx context.Context, cell Cell) (sim.TrialStats, error) {
 		Seed:      cell.Seed,
 		MaxTime:   cell.MaxTime,
 		Workers:   r.Workers,
+		Faults:    cell.Faults,
 	})
 	if err != nil {
 		return sim.TrialStats{}, fmt.Errorf("scenario: cell %s k=%d D=%d: %w",
@@ -211,6 +217,19 @@ func (g Grid) Cells() ([]Cell, error) {
 		if g.MaxTime < 0 {
 			return nil, fmt.Errorf("scenario: %q: MaxTime must be >= 0 (0 = engine default), got %d", name, g.MaxTime)
 		}
+		// Explicit Params fault knobs take precedence; otherwise the
+		// scenario's registered default plan (how the -faulty variants carry
+		// their model) applies. Validated here at expansion time like the
+		// ranges above, so a bad plan fails the request, not the sweep.
+		faults := g.Params.FaultPlan()
+		if faults == nil {
+			faults = scn.Faults
+		}
+		if faults != nil {
+			if err := faults.Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: %q: %w", name, err)
+			}
+		}
 		if g.Params.D != 0 && len(ds) > 1 {
 			// An explicit Params.D pins every factory to one advice distance
 			// while the cells would be reported under the swept D — a silent
@@ -240,6 +259,7 @@ func (g Grid) Cells() ([]Cell, error) {
 					Trials:   trials,
 					MaxTime:  g.MaxTime,
 					Seed:     g.Seed,
+					Faults:   faults,
 				})
 			}
 		}

@@ -352,3 +352,140 @@ func TestRunnerAdaptiveParity(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultySweepParallel runs a faulty sweep — the registered -faulty
+// variants plus a grid with explicit fault knobs — through the parallel
+// cross-cell and trial-level paths and asserts bit-identical statistics
+// against the sequential run. Executed under -race in CI, it also exercises
+// the fault interpreter for data races across worker goroutines.
+func TestFaultySweepParallel(t *testing.T) {
+	t.Parallel()
+
+	p := DefaultParams()
+	p.CrashProb = 0.25
+	p.CrashBy = 32
+	p.StallProb = 0.5
+	p.StallBy = 32
+	p.StallDur = 16
+	cells, err := Grid{
+		Scenarios: []string{"known-k", "uniform"},
+		Params:    p,
+		Ks:        []int{2, 4},
+		Ds:        []int{8, 16},
+		Trials:    12,
+		MaxTime:   1 << 16,
+		Seed:      42,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variantCells, err := Grid{
+		Scenarios: []string{"known-k-faulty"},
+		Params:    DefaultParams(),
+		Ks:        []int{4},
+		Ds:        []int{16},
+		Trials:    12,
+		MaxTime:   1 << 16,
+		Seed:      42,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells = append(cells, variantCells...)
+	for _, c := range cells {
+		if c.Faults == nil {
+			t.Fatalf("cell %s k=%d D=%d lost its fault plan", c.Scenario, c.K, c.D)
+		}
+	}
+
+	want, err := Runner{}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Runner{
+		{CellWorkers: 3},
+		{Workers: 4},
+		{CellWorkers: 2, Workers: 2},
+		{Adaptive: true},
+	} {
+		got, err := r.Run(context.Background(), cells)
+		if err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%+v: faulty statistics differ from the sequential path", r)
+		}
+	}
+
+	// Survivors must show the faults' teeth somewhere in the sweep: with
+	// CrashProb 0.25 over these cells, at least one trial loses an agent.
+	sawLoss := false
+	for i, st := range want {
+		if st.MeanSurvivors() < float64(cells[i].K) {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Error("no cell lost a single agent; the fault plan is not reaching the engine")
+	}
+}
+
+// TestFaultPlanResolution pins the precedence rule of Cells: explicit Params
+// knobs beat the scenario's registered default plan, and a fault-free grid
+// over a fault-free scenario carries no plan at all.
+func TestFaultPlanResolution(t *testing.T) {
+	t.Parallel()
+
+	// Explicit knobs over a -faulty variant: the request's plan wins.
+	p := DefaultParams()
+	p.CrashProb = 0.75
+	p.CrashBy = 7
+	cells, err := Grid{
+		Scenarios: []string{"known-k-faulty"},
+		Params:    p,
+		Ks:        []int{1}, Ds: []int{8}, Trials: 1,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Faults == nil || cells[0].Faults.CrashProb != 0.75 || cells[0].Faults.CrashBy != 7 {
+		t.Errorf("explicit knobs should shadow the scenario default, got %+v", cells[0].Faults)
+	}
+
+	// No knobs over the variant: the registered default applies.
+	cells, err = Grid{
+		Scenarios: []string{"known-k-faulty"},
+		Params:    DefaultParams(),
+		Ks:        []int{1}, Ds: []int{8}, Trials: 1,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Faults == nil || cells[0].Faults.CrashProb != 0.25 {
+		t.Errorf("the -faulty variant should carry its registered default plan, got %+v", cells[0].Faults)
+	}
+
+	// No knobs over a fault-free scenario: no plan.
+	cells, err = Grid{
+		Scenarios: []string{"known-k"},
+		Params:    DefaultParams(),
+		Ks:        []int{1}, Ds: []int{8}, Trials: 1,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Faults != nil {
+		t.Errorf("fault-free grid over fault-free scenario should carry no plan, got %+v", cells[0].Faults)
+	}
+
+	// Invalid knobs fail at expansion, not mid-sweep.
+	bad := DefaultParams()
+	bad.CrashProb = 0.5 // CrashBy missing
+	if _, err := (Grid{
+		Scenarios: []string{"known-k"},
+		Params:    bad,
+		Ks:        []int{1}, Ds: []int{8}, Trials: 1,
+	}).Cells(); err == nil {
+		t.Error("a crash probability without a crash horizon should fail at expansion")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"antsearch/internal/adversary"
 	"antsearch/internal/agent"
+	"antsearch/internal/fault"
 	"antsearch/internal/parallel"
 	"antsearch/internal/stats"
 	"antsearch/internal/xrand"
@@ -35,6 +36,11 @@ type TrialConfig struct {
 	MaxTime int
 	// Workers bounds the number of goroutines used (0 = GOMAXPROCS).
 	Workers int
+	// Faults, when non-nil and non-zero, applies the fault model to every
+	// trial (see fault.Plan). Schedules derive from (seed, trial, agent)
+	// alone, so faulty trials shard and merge as deterministically as
+	// fault-free ones.
+	Faults *fault.Plan
 }
 
 // Validate reports whether the configuration is usable.
@@ -55,6 +61,11 @@ func (c TrialConfig) Validate() error {
 	}
 	if c.Trials < 1 {
 		return fmt.Errorf("sim: trial config needs at least one trial, got %d", c.Trials)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -97,6 +108,14 @@ type TrialStats struct {
 	// FoundTimeQuantiles holds the first-hit time distribution over only the
 	// trials that found the treasure before the cap.
 	FoundTimeQuantiles stats.QuantileSummary
+	// Survivors summarises per-trial k′, the number of agents alive at the
+	// trial's reported time. Fault-free configurations report the constant k.
+	Survivors stats.Summary
+	// SurvivorRatio summarises Time/(D + D²/k′), the competitive ratio
+	// re-based against the surviving agents (sim.Result.
+	// SurvivorCompetitiveRatio); all-crashed trials, whose ratio is NaN,
+	// are excluded.
+	SurvivorRatio stats.Summary
 }
 
 // SuccessRate returns the fraction of trials that found the treasure.
@@ -121,6 +140,13 @@ func (s TrialStats) MedianFoundTime() float64 { return s.FoundTimeQuantiles.Medi
 // MeanRatio returns the mean competitive ratio.
 func (s TrialStats) MeanRatio() float64 { return s.Ratio.Mean }
 
+// MeanSurvivors returns the mean per-trial survivor count k′.
+func (s TrialStats) MeanSurvivors() float64 { return s.Survivors.Mean }
+
+// MeanSurvivorRatio returns the mean competitive ratio against the
+// surviving-k′ lower bound.
+func (s TrialStats) MeanSurvivorRatio() float64 { return s.SurvivorRatio.Mean }
+
 // LowerBound returns D + D²/k for this configuration.
 func (s TrialStats) LowerBound() float64 {
 	d := float64(s.Distance)
@@ -138,9 +164,11 @@ type TrialAccumulator struct {
 	found     int
 	capped    int
 
-	time    stats.Accumulator
-	allTime stats.Accumulator
-	ratio   stats.Accumulator
+	time          stats.Accumulator
+	allTime       stats.Accumulator
+	ratio         stats.Accumulator
+	survivors     stats.Accumulator
+	survivorRatio stats.Accumulator
 
 	times      *stats.Sketch
 	foundTimes *stats.Sketch
@@ -166,6 +194,8 @@ func (a *TrialAccumulator) DisableReplay() {
 	a.time.DisableReplay()
 	a.allTime.DisableReplay()
 	a.ratio.DisableReplay()
+	a.survivors.DisableReplay()
+	a.survivorRatio.DisableReplay()
 }
 
 // Add incorporates one trial result.
@@ -186,6 +216,12 @@ func (a *TrialAccumulator) Add(r Result) {
 		// well defined even for hand-built Results.
 		a.ratio.Add(ratio)
 	}
+	a.survivors.Add(float64(r.Survivors))
+	if sr := r.SurvivorCompetitiveRatio(); !math.IsNaN(sr) {
+		// NaN here additionally marks all-crashed trials, whose k′ bound is
+		// +Inf; they carry no ratio information.
+		a.survivorRatio.Add(sr)
+	}
 	a.times.Add(float64(r.Time))
 }
 
@@ -205,6 +241,8 @@ func (a *TrialAccumulator) Merge(b *TrialAccumulator) {
 	a.time.Merge(b.time)
 	a.allTime.Merge(b.allTime)
 	a.ratio.Merge(b.ratio)
+	a.survivors.Merge(b.survivors)
+	a.survivorRatio.Merge(b.survivorRatio)
 	a.times.Merge(b.times)
 	a.foundTimes.Merge(b.foundTimes)
 }
@@ -222,6 +260,8 @@ func (a *TrialAccumulator) Stats() TrialStats {
 		Ratio:              a.ratio.Summarize(),
 		TimeQuantiles:      a.times.Summary(),
 		FoundTimeQuantiles: a.foundTimes.Summary(),
+		Survivors:          a.survivors.Summarize(),
+		SurvivorRatio:      a.survivorRatio.Summarize(),
 	}
 }
 
@@ -300,6 +340,7 @@ func runTrial(cfg TrialConfig, alg agent.Algorithm, trial int) (Result, error) {
 		Algorithm: alg,
 		NumAgents: cfg.NumAgents,
 		Treasure:  treasure,
+		Faults:    cfg.Faults,
 	}
 	return Run(inst, Options{
 		Seed:    xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial)),
@@ -327,7 +368,7 @@ func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi 
 	acc := NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
 	e := enginePool.Get().(*engine)
 	defer enginePool.Put(e)
-	inst := Instance{Algorithm: alg, NumAgents: cfg.NumAgents}
+	inst := Instance{Algorithm: alg, NumAgents: cfg.NumAgents, Faults: cfg.Faults}
 	opts := Options{MaxTime: cfg.MaxTime}
 	// One type assertion per shard, not per trial: reset receives the hoisted
 	// reuser for every trial in the range.

@@ -35,6 +35,7 @@ import (
 	"math"
 
 	"antsearch/internal/agent"
+	"antsearch/internal/fault"
 	"antsearch/internal/grid"
 	"antsearch/internal/trajectory"
 	"antsearch/internal/xrand"
@@ -55,6 +56,12 @@ type Instance struct {
 	NumAgents int
 	// Treasure is the target node τ. It must differ from the source.
 	Treasure grid.Point
+	// Faults, when non-nil and non-zero, subjects the agents to the fault
+	// model: each agent draws its fail-stop/fail-stall schedule from a
+	// dedicated stream derived from (Options.Seed, faultTag, agent index), so
+	// a fault-free instance consumes no fault randomness and stays
+	// bit-identical to runs that predate the fault model.
+	Faults *fault.Plan
 }
 
 // Validate reports whether the instance is well formed.
@@ -68,8 +75,27 @@ func (in Instance) Validate() error {
 	if in.Treasure == grid.Origin {
 		return errors.New("sim: treasure must not be placed on the source")
 	}
+	if in.Faults != nil {
+		if err := in.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// faulty reports whether the instance carries an active fault plan.
+func (in Instance) faulty() bool {
+	return in.Faults != nil && !in.Faults.IsZero()
+}
+
+// faultTag is the xrand path tag of the per-agent fault-schedule streams,
+// disjoint from the agent-behaviour streams (path = agent index alone) and
+// the treasure-placement stream (tag 0xad5e at the trial level).
+const faultTag = 0xfa17
+
+// noFault mirrors fault.None locally: the sentinel time of an event that
+// never fires, larger than every reachable simulated time.
+const noFault = fault.None
 
 // Options control a single simulation run.
 type Options struct {
@@ -100,6 +126,11 @@ type Result struct {
 	Finder int
 	// Capped is true if the treasure was not found before the cap.
 	Capped bool
+	// Survivors is k′, the number of agents whose fail-stop time lies
+	// strictly after Time (an agent crashing exactly at Time performs no
+	// action at that instant, so it does not survive). Fault-free runs report
+	// NumAgents.
+	Survivors int
 	// Lower-bound reference values for convenience: the distance D of the
 	// treasure and the trivial bound D + D²/k for this instance.
 	Distance   int
@@ -118,6 +149,30 @@ func (r Result) CompetitiveRatio() float64 {
 		return math.NaN()
 	}
 	return float64(r.Time) / r.LowerBound
+}
+
+// SurvivorLowerBound returns D + D²/k′ — the trivial bound re-based against
+// the k′ agents that survived the run, the reference the paper's
+// graceful-degradation claim compares against. It is +Inf when no agent
+// survived: zero agents cannot find anything, so every finite time is
+// "infinitely good" relative to the bound.
+func (r Result) SurvivorLowerBound() float64 {
+	if r.Survivors < 1 {
+		return math.Inf(1)
+	}
+	return lowerBound(r.Distance, r.Survivors)
+}
+
+// SurvivorCompetitiveRatio returns Time / (D + D²/k′). Like CompetitiveRatio
+// it is NaN on the degenerate D=0 instance; it is additionally NaN when no
+// agent survived (the bound is +Inf and the ratio carries no information), so
+// all-crashed capped trials drop out of ratio aggregates instead of dragging
+// means toward zero.
+func (r Result) SurvivorCompetitiveRatio() float64 {
+	if r.Survivors < 1 || r.Distance == 0 {
+		return math.NaN()
+	}
+	return float64(r.Time) / lowerBound(r.Distance, r.Survivors)
 }
 
 // lowerBound returns D + D²/k.
@@ -153,6 +208,16 @@ type agentState struct {
 	// memory without allocating.
 	segs    []trajectory.Seg
 	segNext int
+	// crashAt/stallAt/stallDur are the agent's fault schedule for this trial
+	// (fault.Schedule flattened into the flat per-agent storage; noFault =
+	// the event never fires). crashAt survives the crash itself — the
+	// survivor count reads it after the loop. nextFaultAt caches
+	// min(crashAt, stallAt) so the hot path gates all fault handling on one
+	// comparison per segment.
+	crashAt     int
+	stallAt     int
+	stallDur    int
+	nextFaultAt int
 	// stream is the agent's private randomness, derived from the run seed and
 	// the agent index.
 	stream xrand.Stream
@@ -200,6 +265,10 @@ type engine struct {
 	// placeRNG is the per-trial treasure-placement stream, reused across a
 	// shard's trials by runShard.
 	placeRNG xrand.Stream
+	// faultRNG is the scratch stream reset once per (trial, agent) to draw
+	// fault schedules; it lives here so faulty trials, like fault-free ones,
+	// allocate no generators.
+	faultRNG xrand.Stream
 }
 
 // heapKey is one heap entry: the agent's elapsed time mirrored next to its
@@ -277,6 +346,7 @@ func (e *engine) reset(in Instance, opts Options, reuser agent.SearcherReuser) {
 	}
 	e.agents = e.agents[:in.NumAgents]
 	e.heap = e.heap[:in.NumAgents]
+	faulty := in.faulty()
 	for a := range e.agents {
 		st := &e.agents[a]
 		st.idx = a
@@ -285,6 +355,24 @@ func (e *engine) reset(in Instance, opts Options, reuser agent.SearcherReuser) {
 		st.zeroStreak = 0
 		st.segs = st.segs[:0]
 		st.segNext = 0
+		st.crashAt = noFault
+		st.stallAt = noFault
+		st.stallDur = 0
+		st.nextFaultAt = noFault
+		if faulty {
+			// A dedicated stream per (trial, agent): the agent-behaviour
+			// stream below stays untouched, so a plan with zero effective
+			// draws still changes nothing about the trajectory.
+			e.faultRNG.Reset(opts.Seed, faultTag, uint64(a))
+			sched := in.Faults.Draw(&e.faultRNG)
+			st.crashAt = sched.CrashAt
+			st.stallAt = sched.StallAt
+			st.stallDur = sched.StallDur
+			st.nextFaultAt = sched.CrashAt
+			if sched.StallAt < st.nextFaultAt {
+				st.nextFaultAt = sched.StallAt
+			}
+		}
 		st.stream.Reset(opts.Seed, uint64(a))
 		if reuser != nil && st.searcher != nil {
 			st.searcher = reuser.ReuseSearcher(st.searcher, &st.stream, a)
@@ -461,6 +549,20 @@ func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.Sear
 			// no-op and the next round would pick it again, so keep going.
 		}
 	}
+	res.Survivors = in.NumAgents
+	if in.faulty() {
+		// k′: agents whose crash lies strictly after the answer. Retiring an
+		// agent early (elapsed >= best) never clears crashAt, so the count is
+		// exact even for agents the engine stopped simulating before their
+		// crash time.
+		n := 0
+		for a := range e.agents {
+			if e.agents[a].crashAt > res.Time {
+				n++
+			}
+		}
+		res.Survivors = n
+	}
 	return res, nil
 }
 
@@ -480,6 +582,13 @@ func (st *agentState) scanSeg(seg trajectory.Seg, treasure grid.Point, budget in
 	start, end, duration, off, found := seg.Scan(treasure)
 	if start != st.pos {
 		return stepOutcome{}, discontinuityError(seg, start, st.pos)
+	}
+	if st.nextFaultAt-st.elapsed <= duration {
+		// Some fault fires within this segment's time window (nextFaultAt >=
+		// elapsed is an engine invariant, so the subtraction cannot wrap).
+		// The cold fault interpreter takes over; the common fault-free case
+		// costs exactly this one comparison.
+		return st.applyFaults(end, duration, off, found, budget)
 	}
 	if found {
 		st.zeroStreak = 0
@@ -510,6 +619,105 @@ func (st *agentState) scanSeg(seg trajectory.Seg, treasure grid.Point, budget in
 	st.elapsed += duration
 	st.pos = end
 	return stepOutcome{hit: -1}, nil
+}
+
+// applyFaults folds one segment into the agent's state under its fault
+// schedule. It is the cold continuation of scanSeg, entered only when a fault
+// fires within the segment's window, so it can afford to interpret events one
+// by one. Wall-clock semantics (DESIGN.md §10):
+//
+//   - a stall starting at wall time S freezes the agent in place for its
+//     duration L: trajectory events at wall times >= S are shifted by L
+//     (events strictly before S are unaffected; an arrival exactly at S is
+//     delayed);
+//   - a crash at wall time C means the agent performs no action at wall
+//     times >= C — a treasure hit exactly at C does not count;
+//   - a crash inside a stall window still fires at C: events are applied in
+//     wall-clock order, crash winning ties.
+//
+// The interpreter tracks (wall, a): the wall-clock time corresponding to
+// segment offset a, with everything in [0, a) already accounted for. Every
+// exit makes strict progress (a hit, a crash retiring the agent, or elapsed
+// growing — stalls last >= 1), so no exit extends a zero streak. On every
+// non-retiring exit the pending events again lie strictly beyond elapsed,
+// which is the invariant scanSeg's overflow-free gate relies on.
+func (st *agentState) applyFaults(end grid.Point, duration, off int, found bool, budget int) (stepOutcome, error) {
+	wall := st.elapsed
+	a := 0
+	for {
+		evAt, crash := st.crashAt, true
+		if st.stallAt < evAt {
+			evAt, crash = st.stallAt, false
+		}
+		if evAt == noFault {
+			break
+		}
+		// The segment offset at which the event fires. An event made past-due
+		// by an earlier stall in this same call fires immediately.
+		aEv := a
+		if evAt > wall {
+			aEv = a + (evAt - wall)
+			if aEv > duration {
+				// The event lies strictly beyond the segment (and therefore,
+				// by aEv > duration, strictly beyond the new elapsed).
+				break
+			}
+		}
+		if found && off >= a && off < aEv {
+			// The hit precedes the event on the wall clock.
+			st.zeroStreak = 0
+			return st.hitAt(wall+(off-a), budget), nil
+		}
+		if crash {
+			t := evAt
+			if t > budget {
+				t = budget
+			}
+			st.zeroStreak = 0
+			st.elapsed = t
+			return stepOutcome{hit: -1, finished: true}, nil
+		}
+		// Stall: freeze from max(wall, evAt) for stallDur, consuming the
+		// event. Saturate at the budget instead of overflowing — the agent is
+		// then past every time that could still matter.
+		startAt := evAt
+		if wall > startAt {
+			startAt = wall
+		}
+		st.stallAt = noFault
+		st.nextFaultAt = st.crashAt
+		if startAt >= budget || st.stallDur > budget-startAt {
+			st.zeroStreak = 0
+			st.elapsed = budget
+			return stepOutcome{hit: -1}, nil
+		}
+		wall = startAt + st.stallDur
+		a = aEv
+	}
+	if found {
+		st.zeroStreak = 0
+		return st.hitAt(wall+(off-a), budget), nil
+	}
+	segEnd := wall + (duration - a)
+	st.zeroStreak = 0
+	if segEnd >= budget {
+		st.elapsed = budget
+		return stepOutcome{hit: -1}, nil
+	}
+	st.elapsed = segEnd
+	st.pos = end
+	return stepOutcome{hit: -1}, nil
+}
+
+// hitAt reports a treasure hit at global time t, honoring the exclusive
+// budget: a hit at or past the budget can never become the answer, so the
+// agent is parked at the budget for the engine to retire.
+func (st *agentState) hitAt(t, budget int) stepOutcome {
+	if t < budget {
+		return stepOutcome{hit: t}
+	}
+	st.elapsed = budget
+	return stepOutcome{hit: -1}
 }
 
 // advanceAnalytic advances the agent by one segment. Batch-aware searchers
@@ -575,6 +783,9 @@ func advanceExact(st *agentState, treasure grid.Point, budget int,
 		return stepOutcome{}, fmt.Errorf("%w: segment %v starts at %v, agent is at %v",
 			ErrDiscontinuousTrajectory, seg, seg.Start(), st.pos)
 	}
+	if st.nextFaultAt-st.elapsed <= seg.Duration() {
+		return exactSegFaulty(st, seg, treasure, budget, visit)
+	}
 	hit := -1
 	truncated := false
 	seg.ForEach(func(t int, p grid.Point) bool {
@@ -619,6 +830,94 @@ func advanceExact(st *agentState, treasure grid.Point, budget int,
 		st.zeroStreak = 0
 	}
 	st.elapsed += seg.Duration()
+	st.pos = seg.End()
+	return stepOutcome{hit: -1}, nil
+}
+
+// exactSegFaulty enumerates one segment under the agent's fault schedule,
+// the exact-engine counterpart of applyFaults with identical wall-clock
+// semantics: each cell arrival is shifted by the stalls that precede it
+// (an arrival exactly at a stall start is delayed), and arrivals at or after
+// the crash time never happen. The two engines may differ in *when* an
+// agent's elapsed absorbs a pending stall (a zero-duration segment emits no
+// arrivals here but consumes a due stall analytically), which can reorder
+// heap scheduling between independent agents, but never in any agent's
+// visit times or hit time — which is all Result is made of.
+func exactSegFaulty(st *agentState, seg trajectory.Seg, treasure grid.Point, budget int,
+	visit func(agentIdx, t int, p grid.Point)) (stepOutcome, error) {
+	shift := 0
+	hit := -1
+	truncated := false
+	crashed := false
+	seg.ForEach(func(t int, p grid.Point) bool {
+		if t == 0 {
+			// As in the fault-free path: the segment's start was already
+			// visited as the previous segment's end.
+			return true
+		}
+		wall := st.elapsed + t + shift
+		for {
+			if st.crashAt <= st.stallAt {
+				if wall >= st.crashAt {
+					crashed = true
+					return false
+				}
+				break
+			}
+			if wall >= st.stallAt {
+				// The arrival is delayed by the stall; later arrivals inherit
+				// the shift. Re-check from the top: the delay may push the
+				// arrival past the crash time.
+				shift += st.stallDur
+				wall += st.stallDur
+				st.stallAt = noFault
+				st.nextFaultAt = st.crashAt
+				continue
+			}
+			break
+		}
+		if wall >= budget {
+			truncated = true
+			return false
+		}
+		if visit != nil {
+			visit(st.idx, wall, p)
+		}
+		if p == treasure {
+			hit = wall
+			return false
+		}
+		return true
+	})
+	if crashed {
+		t := st.crashAt
+		if t > budget {
+			t = budget
+		}
+		st.zeroStreak = 0
+		st.elapsed = t
+		return stepOutcome{hit: -1, finished: true}, nil
+	}
+	if hit >= 0 {
+		st.zeroStreak = 0
+		return stepOutcome{hit: hit}, nil
+	}
+	if truncated {
+		st.zeroStreak = 0
+		st.elapsed = budget
+		return stepOutcome{hit: -1}, nil
+	}
+	if seg.Duration() == 0 && shift == 0 {
+		// No arrivals, no stall absorbed: the same no-progress guard as the
+		// fault-free path.
+		st.zeroStreak++
+		if st.zeroStreak > maxZeroStreak {
+			return stepOutcome{}, ErrNoProgress
+		}
+	} else {
+		st.zeroStreak = 0
+	}
+	st.elapsed += seg.Duration() + shift
 	st.pos = seg.End()
 	return stepOutcome{hit: -1}, nil
 }
