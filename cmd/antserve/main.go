@@ -9,6 +9,7 @@
 //	         [-workers 0] [-cell-workers 1] [-max-cells 10000]
 //	         [-max-inflight-sweeps 0]
 //	         [-store-dir ""] [-fsync-appends] [-snapshot-interval 5m]
+//	         [-checkpoint-dir ""] [-checkpoint-every 0]
 //	         [-debug-addr ""]
 //
 // By default (-adaptive=true) every /sweep request picks its own
@@ -32,11 +33,24 @@
 // power loss. /stats reports loaded/persisted/store_errors counters
 // alongside the cache hit/miss ones.
 //
+// -checkpoint-dir adds the mid-cell checkpoint tier: while a mega-cell's
+// ordered fold runs, its running prefix aggregate is persisted every
+// -checkpoint-every shards (0 = engine default), so a killed or crashed
+// process resumes the cell from the longest valid prefix on the next
+// identical request — with final aggregates bit-identical to an
+// uninterrupted run. The directory may equal -store-dir (the tiers lock
+// separately); checkpoints of cells whose final result landed in the cache
+// are garbage-collected on the -snapshot-interval beat and at shutdown.
+// Persistent checkpoint write failures degrade the cell to progress-only
+// (counted in /stats under checkpoints.store_errors), never fail the sweep.
+//
 // -max-inflight-sweeps is the admission-control valve: with a positive
 // value, at most that many /sweep requests compute concurrently and the
 // excess is shed immediately with 503 + a Retry-After header instead of
 // queueing unboundedly behind the worker pool. Shed requests are counted in
-// /stats as shed_sweeps.
+// /stats as shed_sweeps. A client that disconnects mid-stream is detected
+// after each flushed row, aborts its remaining shards promptly and is
+// counted as abandoned_sweeps.
 //
 // Endpoints:
 //
@@ -54,6 +68,14 @@
 //
 //	{"scenarios": ["known-k", "uniform"], "ks": [1, 4, 16], "ds": [32],
 //	 "trials": 64, "seed": 1, "params": {"epsilon": 0.5}}
+//
+// Setting "progress": true in the body interleaves
+// {"type":"progress","index":...,"shards_done":...,"trials_done":...,...}
+// heartbeat rows into the stream as each computed cell's fold advances
+// ("progress_every" sets the shard stride; 0 picks an automatic ~1% stride).
+// Progress rows are flushed immediately, so they double as keep-alives for
+// proxies that would time out an idle mega-cell response. Result rows carry
+// no "type" field, so clients that did not opt in are unaffected.
 //
 // The params object also accepts the fault-model knobs (crash_prob,
 // crash_by, stall_prob, stall_by, stall_dur — see DESIGN.md §10), which
@@ -78,6 +100,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the -debug-addr listener
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -108,6 +131,8 @@ func run(args []string, logw io.Writer) error {
 		storeDir     = fs.String("store-dir", "", "directory for the durable result store (empty = memory-only cache)")
 		fsyncAppends = fs.Bool("fsync-appends", false, "fsync the store log after every appended cell, surviving OS crashes and power loss (needs -store-dir)")
 		snapInterval = fs.Duration("snapshot-interval", 5*time.Minute, "how often to compact the store (0 = only on shutdown; needs -store-dir)")
+		ckptDir      = fs.String("checkpoint-dir", "", "directory for mid-cell checkpoints, making mega-cells crash-resumable (empty = disabled; may equal -store-dir)")
+		ckptEvery    = fs.Int("checkpoint-every", 0, "shards between persisted checkpoints (0 = engine default; needs -checkpoint-dir)")
 		debugAddr    = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +161,12 @@ func run(args []string, logw io.Writer) error {
 	}
 	if *maxInflight < 0 {
 		return fmt.Errorf("-max-inflight-sweeps must be >= 0 (0 = unlimited), got %d", *maxInflight)
+	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (0 = engine default), got %d", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint-dir")
 	}
 
 	if *debugAddr != "" {
@@ -170,6 +201,14 @@ func run(args []string, logw io.Writer) error {
 		diskStore = store
 		cfg.Store = store
 	}
+	if *ckptDir != "" {
+		ckpts, err := cache.OpenCheckpointStore(*ckptDir)
+		if err != nil {
+			return fmt.Errorf("-checkpoint-dir: %w", err)
+		}
+		cfg.Checkpoints = ckpts
+		cfg.CheckpointEvery = *ckptEvery
+	}
 	srv, err := newServer(cfg)
 	if err != nil {
 		return fmt.Errorf("warm-starting the cache: %w", err)
@@ -182,6 +221,10 @@ func run(args []string, logw io.Writer) error {
 			// either corruption or a schema change, and both mean recomputation.
 			fmt.Fprintf(logw, "antserve: store skipped %d unreadable or foreign-schema records\n", skipped)
 		}
+	}
+	if cfg.Checkpoints != nil {
+		fmt.Fprintf(logw, "antserve: checkpoints at %s (%d cells resumable)\n",
+			*ckptDir, cfg.Checkpoints.Stats().Cells)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -196,11 +239,13 @@ func run(args []string, logw io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if cfg.Store != nil && *snapInterval > 0 {
+	if (cfg.Store != nil || cfg.Checkpoints != nil) && *snapInterval > 0 {
 		// Periodic compaction bounds how much of the store lives in the
 		// append log (replayed line-by-line on boot) versus the snapshot,
 		// and bounds data loss on a crash-without-shutdown to one interval
-		// of evictions (appended entries are already on disk).
+		// of evictions (appended entries are already on disk). The same beat
+		// garbage-collects checkpoints of cells whose final aggregate is
+		// already cached — a finished cell's prefixes are dead weight.
 		go func() {
 			t := time.NewTicker(*snapInterval)
 			defer t.Stop()
@@ -209,8 +254,13 @@ func run(args []string, logw io.Writer) error {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					if err := srv.cache.Snapshot(); err != nil {
-						fmt.Fprintf(logw, "antserve: snapshot failed: %v\n", err)
+					if cfg.Store != nil {
+						if err := srv.cache.Snapshot(); err != nil {
+							fmt.Fprintf(logw, "antserve: snapshot failed: %v\n", err)
+						}
+					}
+					if cfg.Checkpoints != nil {
+						cfg.Checkpoints.Prune(srv.cache.Contains)
 					}
 				}
 			}
@@ -246,6 +296,18 @@ func run(args []string, logw io.Writer) error {
 			err = cerr
 		}
 	}
+	if cfg.Checkpoints != nil {
+		// Prune before closing: checkpoints for cells whose aggregate just
+		// got snapshotted above would otherwise survive into the next boot
+		// only to be garbage on arrival.
+		cfg.Checkpoints.Prune(srv.cache.Contains)
+		if cerr := cfg.Checkpoints.Close(); cerr != nil {
+			fmt.Fprintf(logw, "antserve: closing checkpoint store: %v\n", cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+	}
 	return err
 }
 
@@ -265,13 +327,15 @@ func snapIntervalSet(fs *flag.FlagSet) bool {
 
 // serverConfig carries the tunables of a server instance.
 type serverConfig struct {
-	Adaptive          bool        // pick the per-request split with scenario.AutoSplit
-	Workers           int         // trial-level goroutines per cell (0 = GOMAXPROCS); fixed mode only
-	CellWorkers       int         // cells computed concurrently per request (>= 1); fixed mode only
-	CacheSize         int         // LRU bound of the result cache
-	MaxCells          int         // largest grid a single request may expand to
-	MaxInflightSweeps int         // concurrent /sweep cap; excess shed with 503 (0 = unlimited)
-	Store             cache.Store // durable backing for the result cache (nil = memory-only)
+	Adaptive          bool                   // pick the per-request split with scenario.AutoSplit
+	Workers           int                    // trial-level goroutines per cell (0 = GOMAXPROCS); fixed mode only
+	CellWorkers       int                    // cells computed concurrently per request (>= 1); fixed mode only
+	CacheSize         int                    // LRU bound of the result cache
+	MaxCells          int                    // largest grid a single request may expand to
+	MaxInflightSweeps int                    // concurrent /sweep cap; excess shed with 503 (0 = unlimited)
+	Store             cache.Store            // durable backing for the result cache (nil = memory-only)
+	Checkpoints       *cache.CheckpointStore // mid-cell checkpoint tier (nil = disabled)
+	CheckpointEvery   int                    // shards between checkpoints (0 = engine default)
 }
 
 // split returns the (cellWorkers, trialWorkers) pair for a request's cells:
@@ -293,9 +357,10 @@ type server struct {
 	cache *cache.Cache
 	start time.Time
 
-	activeSweeps atomic.Int64
-	totalSweeps  atomic.Int64
-	shedSweeps   atomic.Int64
+	activeSweeps    atomic.Int64
+	totalSweeps     atomic.Int64
+	shedSweeps      atomic.Int64
+	abandonedSweeps atomic.Int64
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -380,21 +445,31 @@ func (s *server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 
 // statsResponse is the /stats payload.
 type statsResponse struct {
-	Cache         cache.Stats `json:"cache"`
-	ActiveSweeps  int64       `json:"active_sweeps"`
-	TotalSweeps   int64       `json:"total_sweeps"`
-	ShedSweeps    int64       `json:"shed_sweeps"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
+	Cache cache.Stats `json:"cache"`
+	// Checkpoints reports the mid-cell checkpoint tier's counters; absent
+	// when the server runs without -checkpoint-dir.
+	Checkpoints     *cache.CheckpointStats `json:"checkpoints,omitempty"`
+	ActiveSweeps    int64                  `json:"active_sweeps"`
+	TotalSweeps     int64                  `json:"total_sweeps"`
+	ShedSweeps      int64                  `json:"shed_sweeps"`
+	AbandonedSweeps int64                  `json:"abandoned_sweeps"`
+	UptimeSeconds   float64                `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		Cache:         s.cache.Stats(),
-		ActiveSweeps:  s.activeSweeps.Load(),
-		TotalSweeps:   s.totalSweeps.Load(),
-		ShedSweeps:    s.shedSweeps.Load(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	resp := statsResponse{
+		Cache:           s.cache.Stats(),
+		ActiveSweeps:    s.activeSweeps.Load(),
+		TotalSweeps:     s.totalSweeps.Load(),
+		ShedSweeps:      s.shedSweeps.Load(),
+		AbandonedSweeps: s.abandonedSweeps.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	}
+	if s.cfg.Checkpoints != nil {
+		st := s.cfg.Checkpoints.Stats()
+		resp.Checkpoints = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // sweepParams mirrors scenario.Params with stable lowercase JSON names.
@@ -412,7 +487,8 @@ type sweepParams struct {
 	StallDur  int     `json:"stall_dur"`
 }
 
-// sweepRequest mirrors scenario.Grid with stable lowercase JSON names.
+// sweepRequest mirrors scenario.Grid with stable lowercase JSON names, plus
+// the opt-in progress streaming knobs.
 type sweepRequest struct {
 	Scenarios []string    `json:"scenarios"`
 	Params    sweepParams `json:"params"`
@@ -421,6 +497,15 @@ type sweepRequest struct {
 	Trials    int         `json:"trials"`
 	MaxTime   int         `json:"max_time"`
 	Seed      uint64      `json:"seed"`
+	// Progress interleaves {"type":"progress",...} heartbeat rows into the
+	// NDJSON stream as each cell's fold advances, flushed immediately — they
+	// double as keep-alives for proxies that time out idle mega-cell
+	// responses. Progress rows fire only for cells this request actually
+	// computes: cache hits and joined singleflights produce none.
+	Progress bool `json:"progress"`
+	// ProgressEvery is the shard stride between progress rows (0 = an
+	// automatic ~1% stride; sim counts shards of at most 1024 trials).
+	ProgressEvery int `json:"progress_every"`
 }
 
 func (r sweepRequest) grid() scenario.Grid {
@@ -475,6 +560,57 @@ type cellResult struct {
 	cached bool
 }
 
+// progressRow is one opt-in intra-cell heartbeat line of a /sweep response:
+// how far the cell at Index has folded, how much of that was restored from a
+// checkpoint, and a light running summary. The "type" discriminator is what
+// keeps it distinguishable from result rows (which carry no type field), so
+// a client that did not opt in never has to care.
+//
+//antlint:wire
+type progressRow struct {
+	Type          string  `json:"type"`
+	Index         int     `json:"index"`
+	Scenario      string  `json:"scenario"`
+	K             int     `json:"k"`
+	D             int     `json:"d"`
+	ShardsDone    int     `json:"shards_done"`
+	TotalShards   int     `json:"total_shards"`
+	TrialsDone    int     `json:"trials_done"`
+	Trials        int     `json:"trials"`
+	ResumedShards int     `json:"resumed_shards"`
+	Found         int     `json:"found"`
+	MeanTime      float64 `json:"mean_time"`
+}
+
+// streamWriter serializes all NDJSON writes of one /sweep response: result
+// rows from the handler goroutine and progress rows fired from inside the
+// cell fan-out may interleave, and each heartbeat must flush immediately to
+// act as a keep-alive.
+type streamWriter struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	flusher http.Flusher
+	failed  bool
+}
+
+// write encodes one row and flushes it. It reports false once any write has
+// failed (the client went away); later writes are dropped silently.
+func (sw *streamWriter) write(row any) bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.failed {
+		return false
+	}
+	if err := sw.enc.Encode(row); err != nil {
+		sw.failed = true
+		return false
+	}
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+	return true
+}
+
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -519,7 +655,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	stream := &streamWriter{enc: json.NewEncoder(w), flusher: flusher}
 	ctx := r.Context()
 
 	// Stream the cells in order, computing up to cellWorkers of them
@@ -535,11 +671,45 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for lo := 0; lo < len(cells); lo += cellWorkers {
 		hi := min(lo+cellWorkers, len(cells))
 		chunk := cells[lo:hi]
+		base := lo
 		results, err := parallel.Map(ctx, len(chunk), cellWorkers, func(i int) (cellResult, error) {
 			cell := chunk[i]
 			key := cache.CellKey(cell, grid.Params)
+			// Each cell gets its own runner copy so the progress hook can
+			// carry the cell's stream index and the checkpointer its key.
+			// Both hooks ride the computation, so a cache hit or a joined
+			// singleflight produces neither progress rows nor checkpoints.
+			cr := runner
+			if req.Progress {
+				idx := base + i
+				cr.Progress = func(c scenario.Cell, p sim.Progress) {
+					stream.write(progressRow{
+						Type:          "progress",
+						Index:         idx,
+						Scenario:      c.Scenario,
+						K:             c.K,
+						D:             c.D,
+						ShardsDone:    p.ShardsDone,
+						TotalShards:   p.TotalShards,
+						TrialsDone:    p.TrialsDone,
+						Trials:        p.TotalTrials,
+						ResumedShards: p.ResumedShards,
+						Found:         p.Stats.Found,
+						MeanTime:      p.Stats.AllTime.Mean,
+					})
+				}
+				cr.ProgressEvery = req.ProgressEvery
+				if cr.ProgressEvery <= 0 {
+					cr.ProgressEvery = -1 // the engine's automatic ~1% stride
+				}
+			}
+			if s.cfg.Checkpoints != nil {
+				ck := s.cfg.Checkpoints.ForCell(key)
+				cr.Checkpointer = func(scenario.Cell) sim.Checkpointer { return ck }
+				cr.CheckpointEvery = s.cfg.CheckpointEvery
+			}
 			st, cached, err := s.cache.Do(ctx, key, func(ctx context.Context) (sim.TrialStats, error) {
-				return runner.RunOne(ctx, cell)
+				return cr.RunOne(ctx, cell)
 			})
 			if err != nil {
 				return cellResult{}, err
@@ -547,9 +717,15 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return cellResult{stats: st, cached: cached}, nil
 		})
 		if err != nil {
+			if ctx.Err() != nil {
+				// The client went away mid-computation; the context abort
+				// already stopped the remaining shards.
+				s.abandonedSweeps.Add(1)
+				return
+			}
 			// Rows already streamed are gone; report the failure in-band as
 			// the final NDJSON object.
-			_ = enc.Encode(sweepRow{Index: lo, Error: err.Error()})
+			stream.write(sweepRow{Index: lo, Error: err.Error()})
 			return
 		}
 		for i, res := range results {
@@ -564,19 +740,13 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				Cached:   res.cached,
 				Stats:    &res.stats,
 			}
-			if err := enc.Encode(row); err != nil {
-				return // client went away
+			// A failed write or a dead context after a flushed row means the
+			// client disconnected mid-stream: count the abandonment and stop
+			// before computing the remaining cells.
+			if !stream.write(row) || ctx.Err() != nil {
+				s.abandonedSweeps.Add(1)
+				return
 			}
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		// Any dead context ends the stream — cancellation (the client went
-		// away) and deadline expiry alike. Checking only Canceled here used
-		// to let a past-deadline request fall through into the next chunk
-		// and exit via the error-row path instead of terminating cleanly.
-		if ctx.Err() != nil {
-			return
 		}
 	}
 }

@@ -774,3 +774,199 @@ func TestSweepFaultParams(t *testing.T) {
 		t.Errorf("crash_prob without crash_by: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// rawSweepLines splits a /sweep NDJSON response into progress rows and
+// result rows via the "type" discriminator.
+func rawSweepLines(t *testing.T, resp *http.Response) (progress []progressRow, results []sweepRow) {
+	t.Helper()
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", sc.Text(), err)
+		}
+		if probe.Type == "progress" {
+			var p progressRow
+			if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+				t.Fatal(err)
+			}
+			progress = append(progress, p)
+			continue
+		}
+		var row sweepRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return progress, results
+}
+
+// TestSweepProgressRows pins the opt-in progress streaming: heartbeat rows
+// interleave with per-shard accounting that advances monotonically per cell,
+// the result rows are unchanged, and a request that did not opt in sees no
+// progress rows at all.
+func TestSweepProgressRows(t *testing.T) {
+	t.Parallel()
+
+	ts := newTestServer(t, serverConfig{CacheSize: 16})
+	plainBody := `{"scenarios": ["known-k"], "ks": [2], "ds": [8], "trials": 16384, "seed": 5}`
+	ref := decodeRows(t, postSweep(t, ts.URL, plainBody))
+	if len(ref) != 1 || ref[0].Stats == nil {
+		t.Fatalf("reference rows = %+v", ref)
+	}
+
+	// Fresh server so the progress request actually computes (a cache hit
+	// fires no progress).
+	ts2 := newTestServer(t, serverConfig{CacheSize: 16})
+	body := `{"scenarios": ["known-k"], "ks": [2], "ds": [8], "trials": 16384, "seed": 5,
+	          "progress": true, "progress_every": 1}`
+	progress, results := rawSweepLines(t, postSweep(t, ts2.URL, body))
+	if len(results) != 1 || results[0].Error != "" {
+		t.Fatalf("result rows = %+v", results)
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress rows despite progress: true")
+	}
+	prev := 0
+	for _, p := range progress {
+		if p.Index != 0 || p.Scenario != "known-k" || p.K != 2 || p.D != 8 {
+			t.Fatalf("progress row carries wrong coordinates: %+v", p)
+		}
+		if p.ShardsDone <= prev || p.ShardsDone > p.TotalShards || p.TrialsDone > p.Trials {
+			t.Fatalf("progress accounting broken: %+v after shard %d", p, prev)
+		}
+		prev = p.ShardsDone
+	}
+	last := progress[len(progress)-1]
+	if last.ShardsDone != last.TotalShards || last.TrialsDone != 16384 {
+		t.Fatalf("final progress row incomplete: %+v", last)
+	}
+	// The hook must not perturb the aggregate.
+	a, _ := json.Marshal(ref[0].Stats)
+	b, _ := json.Marshal(results[0].Stats)
+	if !bytes.Equal(a, b) {
+		t.Error("progress streaming changed the result stats")
+	}
+
+	// Opt-out: the same request without the flag emits result rows only.
+	ts3 := newTestServer(t, serverConfig{CacheSize: 16})
+	progress, results = rawSweepLines(t, postSweep(t, ts3.URL, plainBody))
+	if len(progress) != 0 || len(results) != 1 {
+		t.Fatalf("opt-out stream: %d progress rows, %d results", len(progress), len(results))
+	}
+}
+
+// TestSweepCheckpointResumeAcrossRestart is the serving-layer resume test: a
+// server with a checkpoint tier computes a mega-cell (persisting prefixes as
+// it goes), a second server booted on the same checkpoint directory — with a
+// cold result cache — recomputes the same cell by resuming from the persisted
+// prefixes, bit-identically, and counts the resume in /stats; pruning then
+// clears the finished cell's checkpoints.
+func TestSweepCheckpointResumeAcrossRestart(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	body := `{"scenarios": ["known-k"], "ks": [2], "ds": [16], "trials": 16384, "seed": 11}`
+
+	ckpts1, err := cache.OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := newServer(serverConfig{CacheSize: 16, Checkpoints: ckpts1, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.routes())
+	ref := decodeRows(t, postSweep(t, ts1.URL, body))
+	ts1.Close()
+	if len(ref) != 1 || ref[0].Stats == nil {
+		t.Fatalf("first boot rows = %+v", ref)
+	}
+	if st := ckpts1.Stats(); st.Saved == 0 {
+		t.Fatalf("first boot persisted no checkpoints: %+v", st)
+	}
+	if err := ckpts1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpts2, err := cache.OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ckpts2.Close() })
+	srv2, err := newServer(serverConfig{CacheSize: 16, Checkpoints: ckpts2, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.routes())
+	defer ts2.Close()
+	second := decodeRows(t, postSweep(t, ts2.URL, body))
+	if len(second) != 1 || second[0].Cached {
+		t.Fatalf("second boot rows = %+v (the result cache is cold; only checkpoints carry over)", second)
+	}
+	a, _ := json.Marshal(ref[0].Stats)
+	b, _ := json.Marshal(second[0].Stats)
+	if !bytes.Equal(a, b) {
+		t.Errorf("resumed sweep differs from the original:\n%s\nvs\n%s", a, b)
+	}
+
+	statsResp, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if st.Checkpoints == nil {
+		t.Fatal("/stats carries no checkpoints section despite the configured tier")
+	}
+	if st.Checkpoints.ResumedRuns == 0 || st.Checkpoints.ResumedShards == 0 {
+		t.Errorf("second boot resumed nothing: %+v", st.Checkpoints)
+	}
+
+	// The cell's final aggregate is cached now; pruning collects its
+	// checkpoints and /stats shows it.
+	if n := ckpts2.Prune(srv2.cache.Contains); n == 0 {
+		t.Error("prune collected nothing despite the finished cell")
+	}
+	if st := ckpts2.Stats(); st.Cells != 0 || st.Pruned == 0 {
+		t.Errorf("post-prune checkpoint stats = %+v", st)
+	}
+}
+
+// TestSweepCountsAbandonedClients pins the disconnect satellite: a stream
+// whose context dies after a flushed row stops computing and is counted as
+// abandoned in /stats.
+func TestSweepCountsAbandonedClients(t *testing.T) {
+	t.Parallel()
+
+	srv, err := newServer(serverConfig{CacheSize: 16, CellWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newDeadlineCtx()
+	rec := &expireAfterFirstRow{ResponseRecorder: httptest.NewRecorder(), ctx: ctx}
+	body := `{"scenarios": ["known-k"], "ks": [1, 2, 3], "ds": [4], "trials": 2, "seed": 1}`
+	req := httptest.NewRequest(http.MethodPost, "/sweep", strings.NewReader(body)).WithContext(ctx)
+	srv.handleSweep(rec, req)
+	if got := srv.abandonedSweeps.Load(); got != 1 {
+		t.Errorf("abandonedSweeps = %d after a mid-stream disconnect, want 1", got)
+	}
+	// A sweep read to completion is not an abandonment.
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	decodeRows(t, postSweep(t, ts.URL, `{"scenarios": ["known-k"], "ks": [1], "ds": [4], "trials": 2, "seed": 9}`))
+	if got := srv.abandonedSweeps.Load(); got != 1 {
+		t.Errorf("abandonedSweeps = %d after a completed sweep, want still 1", got)
+	}
+}

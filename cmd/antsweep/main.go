@@ -9,6 +9,7 @@
 //	antsweep -algs known-k,uniform -k 1,4,16,64 -d 32,128 -trials 50
 //	         [-eps 0.5] [-delta 0.5] [-seed 1] [-format ascii] [-max-time N]
 //	         [-crash-prob 0 -crash-by N] [-stall-prob 0 -stall-by N -stall-dur N]
+//	         [-progress] [-checkpoint-dir ""] [-checkpoint-every 0]
 //	         [-cpuprofile sweep.pprof] [-memprofile heap.pprof]
 //
 // The -algs names come from the scenario registry; -list enumerates them.
@@ -16,6 +17,14 @@
 // -trials values execute in constant memory. -cpuprofile and -memprofile
 // write pprof profiles of the sweep (the whole run, flags included), so the
 // hot path can be profiled on any real workload without patching the source.
+//
+// -progress streams per-shard progress lines to stderr while cells compute
+// (stdout keeps the table, so the output stays pipeable). -checkpoint-dir
+// enables shard-range checkpointing: every -checkpoint-every shards (0 = the
+// engine default) the running prefix aggregate is persisted, and a rerun of
+// the same sweep after an interruption resumes each cell from its longest
+// valid prefix instead of from trial zero — bit-identically, per DESIGN.md
+// §11. A sweep that completes prunes its own cells' checkpoints on exit.
 //
 // The -crash-*/-stall-* flags subject every agent to the fault model of
 // DESIGN.md §10 (fail-stop crashes and fail-stall pauses drawn per trial);
@@ -35,9 +44,12 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 
 	"antsearch"
+	"antsearch/internal/cache"
 	"antsearch/internal/scenario"
+	"antsearch/internal/sim"
 	"antsearch/internal/table"
 )
 
@@ -49,29 +61,38 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	return runWith(args, out, os.Stderr)
+}
+
+// runWith is run with the diagnostic stream made explicit: -progress lines go
+// to errw so tests can capture them while stdout keeps the table.
+func runWith(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("antsweep", flag.ContinueOnError)
 	var (
-		algList  = fs.String("algs", "known-k,uniform", "comma-separated algorithms to sweep")
-		kList    = fs.String("k", "1,4,16", "comma-separated agent counts")
-		dList    = fs.String("d", "32", "comma-separated treasure distances")
-		trials   = fs.Int("trials", 32, "Monte-Carlo trials per cell")
-		eps      = fs.Float64("eps", 0.5, "epsilon (uniform, approx-hedge)")
-		delta    = fs.Float64("delta", 0.5, "delta (harmonic variants)")
-		rho      = fs.Float64("rho", 2, "rho (rho-approx)")
-		mu       = fs.Float64("mu", 2, "mu (levy)")
-		seed     = fs.Uint64("seed", 1, "base random seed")
-		crashP   = fs.Float64("crash-prob", 0, "per-agent fail-stop probability per trial (0 = no crashes)")
-		crashBy  = fs.Int("crash-by", 0, "crash times are drawn uniformly over [0, crash-by) (required with -crash-prob)")
-		stallP   = fs.Float64("stall-prob", 0, "per-agent fail-stall probability per trial (0 = no stalls)")
-		stallBy  = fs.Int("stall-by", 0, "stall start times are drawn uniformly over [0, stall-by) (required with -stall-prob)")
-		stallDur = fs.Int("stall-dur", 0, "stall lengths are drawn uniformly over [1, stall-dur] (required with -stall-prob)")
-		maxTime  = fs.Int("max-time", 0, "per-trial time cap (0 = engine default)")
-		format   = fs.String("format", "ascii", "output format: ascii, markdown or csv")
-		workers  = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
-		adaptive = fs.Bool("adaptive", false, "auto-split cores between cells and trials (ignores -workers)")
-		list     = fs.Bool("list", false, "list the registered scenarios and exit")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		algList   = fs.String("algs", "known-k,uniform", "comma-separated algorithms to sweep")
+		kList     = fs.String("k", "1,4,16", "comma-separated agent counts")
+		dList     = fs.String("d", "32", "comma-separated treasure distances")
+		trials    = fs.Int("trials", 32, "Monte-Carlo trials per cell")
+		eps       = fs.Float64("eps", 0.5, "epsilon (uniform, approx-hedge)")
+		delta     = fs.Float64("delta", 0.5, "delta (harmonic variants)")
+		rho       = fs.Float64("rho", 2, "rho (rho-approx)")
+		mu        = fs.Float64("mu", 2, "mu (levy)")
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		crashP    = fs.Float64("crash-prob", 0, "per-agent fail-stop probability per trial (0 = no crashes)")
+		crashBy   = fs.Int("crash-by", 0, "crash times are drawn uniformly over [0, crash-by) (required with -crash-prob)")
+		stallP    = fs.Float64("stall-prob", 0, "per-agent fail-stall probability per trial (0 = no stalls)")
+		stallBy   = fs.Int("stall-by", 0, "stall start times are drawn uniformly over [0, stall-by) (required with -stall-prob)")
+		stallDur  = fs.Int("stall-dur", 0, "stall lengths are drawn uniformly over [1, stall-dur] (required with -stall-prob)")
+		maxTime   = fs.Int("max-time", 0, "per-trial time cap (0 = engine default)")
+		format    = fs.String("format", "ascii", "output format: ascii, markdown or csv")
+		workers   = fs.Int("workers", 0, "maximum worker goroutines (0 = GOMAXPROCS)")
+		adaptive  = fs.Bool("adaptive", false, "auto-split cores between cells and trials (ignores -workers)")
+		progress  = fs.Bool("progress", false, "stream per-shard progress lines to stderr while cells compute")
+		ckptDir   = fs.String("checkpoint-dir", "", "persist shard-range checkpoints here; a rerun resumes interrupted cells")
+		ckptEvery = fs.Int("checkpoint-every", 0, "shards between persisted checkpoints (0 = engine default; needs -checkpoint-dir)")
+		list      = fs.Bool("list", false, "list the registered scenarios and exit")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,6 +149,12 @@ func run(args []string, out io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
 	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (0 = engine default), got %d", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint-dir to persist into")
+	}
 
 	var names []string
 	for _, algName := range strings.Split(*algList, ",") {
@@ -139,25 +166,64 @@ func run(args []string, out io.Writer) error {
 	// Expand the (scenario × D × k) grid and run every cell through the
 	// streaming sweep engine: trials are sharded over workers and aggregated
 	// by per-shard accumulators, so memory stays flat however large -trials.
+	params := scenario.Params{
+		Epsilon: *eps, Delta: *delta, Rho: *rho, Mu: *mu,
+		CrashProb: *crashP, CrashBy: *crashBy,
+		StallProb: *stallP, StallBy: *stallBy, StallDur: *stallDur,
+	}
 	cells, err := scenario.Grid{
 		Scenarios: names,
-		Params: scenario.Params{
-			Epsilon: *eps, Delta: *delta, Rho: *rho, Mu: *mu,
-			CrashProb: *crashP, CrashBy: *crashBy,
-			StallProb: *stallP, StallBy: *stallBy, StallDur: *stallDur,
-		},
-		Ks:      ks,
-		Ds:      ds,
-		Trials:  *trials,
-		MaxTime: *maxTime,
-		Seed:    *seed,
+		Params:    params,
+		Ks:        ks,
+		Ds:        ds,
+		Trials:    *trials,
+		MaxTime:   *maxTime,
+		Seed:      *seed,
 	}.Cells()
 	if err != nil {
 		return err
 	}
-	stats, err := scenario.Runner{Workers: *workers, Adaptive: *adaptive}.Run(context.Background(), cells)
+	runner := scenario.Runner{Workers: *workers, Adaptive: *adaptive}
+	if *progress {
+		// Cells may run concurrently; one mutex keeps their lines whole.
+		var mu sync.Mutex
+		runner.Progress = func(cell scenario.Cell, p sim.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			resumed := ""
+			if p.ResumedShards > 0 {
+				resumed = fmt.Sprintf(" (resumed %d)", p.ResumedShards)
+			}
+			fmt.Fprintf(errw, "antsweep: %s k=%d D=%d shard %d/%d trials %d/%d%s\n",
+				cell.Scenario, cell.K, cell.D,
+				p.ShardsDone, p.TotalShards, p.TrialsDone, p.TotalTrials, resumed)
+		}
+		runner.ProgressEvery = -1 // automatic ~1% stride
+	}
+	var ckpts *cache.CheckpointStore
+	if *ckptDir != "" {
+		ckpts, err = cache.OpenCheckpointStore(*ckptDir)
+		if err != nil {
+			return fmt.Errorf("-checkpoint-dir: %w", err)
+		}
+		defer ckpts.Close()
+		runner.Checkpointer = func(cell scenario.Cell) sim.Checkpointer {
+			return ckpts.ForCell(cache.CellKey(cell, params))
+		}
+		runner.CheckpointEvery = *ckptEvery
+	}
+	stats, err := runner.Run(context.Background(), cells)
 	if err != nil {
 		return err
+	}
+	if ckpts != nil {
+		// Every swept cell finished, so its checkpoints are dead weight;
+		// cells from other sweeps sharing the directory stay resumable.
+		done := make(map[cache.Key]bool, len(cells))
+		for _, cell := range cells {
+			done[cache.CellKey(cell, params)] = true
+		}
+		ckpts.Prune(func(k cache.Key) bool { return done[k] })
 	}
 
 	// Faulty sweeps (explicit flags or a -faulty scenario variant) get two

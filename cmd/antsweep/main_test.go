@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"antsearch/internal/cache"
 )
 
 func TestParseInts(t *testing.T) {
@@ -86,6 +88,8 @@ func TestSweepErrors(t *testing.T) {
 		{"-max-time", "-1"},
 		{"-workers", "-2"},
 		{"-algs", "unknown-strategy"},
+		{"-checkpoint-every", "-1"},
+		{"-checkpoint-every", "4"}, // no -checkpoint-dir to persist into
 		{"-format", "xml"},
 		{"-bad-flag"},
 	}
@@ -104,11 +108,13 @@ func TestSweepErrorMessagesNameTheFlag(t *testing.T) {
 	t.Parallel()
 
 	cases := map[string][]string{
-		"-trials":   {"-trials", "-7"},
-		"-max-time": {"-max-time", "-1"},
-		"-workers":  {"-workers", "-2"},
-		"-k":        {"-k", "-3"},
-		"-d":        {"-d", "0"},
+		"-trials":           {"-trials", "-7"},
+		"-max-time":         {"-max-time", "-1"},
+		"-workers":          {"-workers", "-2"},
+		"-k":                {"-k", "-3"},
+		"-d":                {"-d", "0"},
+		"-checkpoint-every": {"-checkpoint-every", "-1"},
+		"-checkpoint-dir":   {"-checkpoint-every", "2"},
 	}
 	for flagName, args := range cases {
 		var out bytes.Buffer
@@ -151,5 +157,56 @@ func TestSweepCoversAllScenarioNames(t *testing.T) {
 	}
 	if err := run([]string{"-algs", "levy", "-mu", "0.1", "-k", "1", "-d", "6", "-trials", "1"}, &bytes.Buffer{}); err == nil {
 		t.Error("invalid levy parameter accepted")
+	}
+}
+
+// TestSweepProgressAndCheckpointFlags drives the new robustness flags through
+// the real CLI path: -progress streams shard lines to stderr while stdout
+// keeps the table, -checkpoint-dir persists prefixes during the run, and a
+// completed sweep prunes its own cells' checkpoints so the directory does not
+// accumulate dead state.
+func TestSweepProgressAndCheckpointFlags(t *testing.T) {
+	t.Parallel()
+
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	err := runWith([]string{"-algs", "known-k", "-k", "2", "-d", "8",
+		"-trials", "16384", "-workers", "4", "-seed", "3",
+		"-progress", "-checkpoint-dir", dir, "-checkpoint-every", "1"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "known-k") {
+		t.Errorf("stdout lost the table:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "shard") {
+		t.Error("progress lines leaked into stdout")
+	}
+	lines := strings.Count(errw.String(), "antsweep: known-k k=2 D=8 shard ")
+	if lines == 0 {
+		t.Fatalf("no progress lines on stderr:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "trials 16384/16384") {
+		t.Errorf("final progress line missing:\n%s", errw.String())
+	}
+
+	// The sweep finished, so its checkpoints were pruned on the way out.
+	ckpts, err := cache.OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpts.Close()
+	if st := ckpts.Stats(); st.Cells != 0 {
+		t.Errorf("completed sweep left %d resumable cells behind: %+v", st.Cells, st)
+	}
+
+	// Without -progress the stderr stream stays silent.
+	errw.Reset()
+	out.Reset()
+	if err := runWith([]string{"-algs", "known-k", "-k", "2", "-d", "8", "-trials", "64"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if errw.Len() != 0 {
+		t.Errorf("unsolicited stderr output:\n%s", errw.String())
 	}
 }

@@ -343,6 +343,18 @@ func (c *Cache) Get(key Key) (sim.TrialStats, bool) {
 	return el.Value.(*entry).val, true
 }
 
+// Contains reports whether key holds a completed cached result. Unlike Get
+// it neither counts a hit nor refreshes LRU recency — it exists for
+// bookkeeping probes (checkpoint garbage collection asks "did this cell's
+// final aggregate land?"), which must not distort the cache's access
+// statistics or keep entries artificially warm.
+func (c *Cache) Contains(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // insertLocked stores a computed value and enforces the LRU bound. The
 // caller holds c.mu.
 func (c *Cache) insertLocked(key Key, val sim.TrialStats) {

@@ -142,28 +142,75 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 	return OpenDiskStoreWith(dir, DiskStoreOptions{})
 }
 
+// claimDirLock takes the exclusive flock named name under dir, returning the
+// open lock file whose lifetime holds the claim. Each store tier locks its
+// own file, so different tiers may share a directory while two processes
+// running the same tier fail loudly instead of truncating each other's
+// acknowledged writes at compaction time.
+func claimDirLock(dir, name string) (*os.File, error) {
+	lock, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := lockFileExclusive(lock.Fd()); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	return lock, nil
+}
+
+// sweepOrphans removes leftover snapshot temp files matching pattern under
+// dir. A crash between writing a temp file and renaming it into place orphans
+// it; sweeping at open (safe: the directory lock guarantees no live peer is
+// mid-snapshot) keeps repeated crashes from accumulating full-size snapshots
+// forever.
+func sweepOrphans(dir, pattern string) {
+	if orphans, err := filepath.Glob(filepath.Join(dir, pattern)); err == nil {
+		for _, orphan := range orphans {
+			_ = os.Remove(orphan)
+		}
+	}
+}
+
+// writeAtomicSnapshot streams NDJSON records produced by write into a temp
+// file under dir, fsyncs it and renames it over name — the crash-safe
+// replacement both store tiers compact with: every crash point leaves either
+// the old snapshot or the complete new one, never a torn mix.
+func writeAtomicSnapshot(dir, name string, write func(enc *json.Encoder) error) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	if err := write(json.NewEncoder(w)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}
+
 // OpenDiskStoreWith is OpenDiskStore with explicit options.
 func OpenDiskStoreWith(dir string, opts DiskStoreOptions) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: open store: %w", err)
 	}
-	lock, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	lock, err := claimDirLock(dir, "lock")
 	if err != nil {
-		return nil, fmt.Errorf("cache: open store lock: %w", err)
-	}
-	if err := lockFileExclusive(lock.Fd()); err != nil {
-		lock.Close()
 		return nil, fmt.Errorf("cache: store directory %s is already in use by another process: %w", dir, err)
 	}
-	// A crash between writing a snapshot temp file and renaming it into
-	// place orphans the temp file; sweep leftovers (safe now that the lock
-	// guarantees no live peer is mid-snapshot) so repeated crashes cannot
-	// accumulate full-size snapshots forever.
-	if orphans, err := filepath.Glob(filepath.Join(dir, snapshotFile+".tmp-*")); err == nil {
-		for _, orphan := range orphans {
-			_ = os.Remove(orphan)
-		}
-	}
+	sweepOrphans(dir, snapshotFile+".tmp-*")
 	log, err := os.OpenFile(filepath.Join(dir, logFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		lock.Close()
@@ -317,31 +364,15 @@ func (s *DiskStore) Snapshot(entries []Entry) error {
 	if s.closed {
 		return fmt.Errorf("cache: snapshot on closed store")
 	}
-	tmp, err := os.CreateTemp(s.dir, snapshotFile+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("cache: snapshot: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
-	for _, e := range entries {
-		if err := enc.Encode(record{SchemaVersion: StoreSchemaVersion, Key: e.Key, Stats: e.Stats}); err != nil {
-			tmp.Close()
-			return fmt.Errorf("cache: snapshot: %w", err)
+	err := writeAtomicSnapshot(s.dir, snapshotFile, func(enc *json.Encoder) error {
+		for _, e := range entries {
+			if err := enc.Encode(record{SchemaVersion: StoreSchemaVersion, Key: e.Key, Stats: e.Stats}); err != nil {
+				return err
+			}
 		}
-	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("cache: snapshot: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("cache: snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("cache: snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotFile)); err != nil {
+		return nil
+	})
+	if err != nil {
 		return fmt.Errorf("cache: snapshot: %w", err)
 	}
 	if err := s.log.Truncate(0); err != nil {

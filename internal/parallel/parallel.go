@@ -120,7 +120,21 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) 
 // prefix of indices strictly below the failing one — callers that discard the
 // accumulator on error observe no difference from Map.
 func ReduceOrdered[T any](ctx context.Context, n, workers int, fn func(i int) (T, error), merge func(v T)) error {
-	if n <= 0 {
+	return ReduceOrderedFrom(ctx, 0, n, workers, fn, merge)
+}
+
+// ReduceOrderedFrom is ReduceOrdered over the half-open index range
+// [start, n): fn receives the true index, and merge is called for start,
+// start+1, ... in strict order. It exists for resumable folds — a caller that
+// restored the aggregate of indices [0, start) from a checkpoint continues
+// the identical fold from start, and because merges stay serialized in index
+// order the combined result is the one an uninterrupted [0, n) fold would
+// have produced. start >= n is a no-op.
+func ReduceOrderedFrom[T any](ctx context.Context, start, n, workers int, fn func(i int) (T, error), merge func(v T)) error {
+	if start < 0 {
+		start = 0
+	}
+	if start >= n {
 		return nil
 	}
 	if fn == nil || merge == nil {
@@ -129,12 +143,12 @@ func ReduceOrdered[T any](ctx context.Context, n, workers int, fn func(i int) (T
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > n-start {
+		workers = n - start
 	}
 	if workers == 1 {
 		// Sequential fold: no goroutines, no parking, one result in flight.
-		for i := 0; i < n; i++ {
+		for i := start; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -156,8 +170,8 @@ func ReduceOrdered[T any](ctx context.Context, n, workers int, fn func(i int) (T
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
-		next     int
-		frontier int
+		next     = start
+		frontier = start
 		pending  = make(map[int]T, window)
 		firstErr error
 		firstIdx = n

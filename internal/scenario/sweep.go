@@ -58,6 +58,22 @@ type Runner struct {
 	// are bit-identical to every fixed configuration; only scheduling
 	// changes.
 	Adaptive bool
+	// Progress, when non-nil, receives intra-cell progress updates as each
+	// cell's ordered fold advances (see sim.TrialConfig.Progress). Cells may
+	// run concurrently (CellWorkers > 1), so the callback must be safe for
+	// concurrent use; updates for one cell never race each other.
+	Progress func(Cell, sim.Progress)
+	// ProgressEvery is the shard stride between updates (sim's semantics:
+	// 0 = every shard, negative = automatic ~1% stride).
+	ProgressEvery int
+	// Checkpointer, when non-nil, supplies the per-cell checkpoint sink that
+	// makes mega-cells resumable (typically cache.CheckpointStore.ForCell
+	// composed with the cell's CellKey). Returning nil for a cell disables
+	// checkpointing for it.
+	Checkpointer func(Cell) sim.Checkpointer
+	// CheckpointEvery is the shard interval between persisted checkpoints
+	// (0 = sim.DefaultCheckpointEvery).
+	CheckpointEvery int
 }
 
 // AutoSplit divides a core budget (0 or negative = GOMAXPROCS) between
@@ -111,7 +127,7 @@ func (r Runner) RunOne(ctx context.Context, cell Cell) (sim.TrialStats, error) {
 		}
 		adv = ring
 	}
-	st, err := sim.MonteCarlo(ctx, sim.TrialConfig{
+	cfg := sim.TrialConfig{
 		Factory:   cell.Factory,
 		NumAgents: cell.K,
 		Adversary: adv,
@@ -120,7 +136,16 @@ func (r Runner) RunOne(ctx context.Context, cell Cell) (sim.TrialStats, error) {
 		MaxTime:   cell.MaxTime,
 		Workers:   r.Workers,
 		Faults:    cell.Faults,
-	})
+	}
+	if r.Progress != nil {
+		cfg.Progress = func(p sim.Progress) { r.Progress(cell, p) }
+		cfg.ProgressEvery = r.ProgressEvery
+	}
+	if r.Checkpointer != nil {
+		cfg.Checkpointer = r.Checkpointer(cell)
+		cfg.CheckpointEvery = r.CheckpointEvery
+	}
+	st, err := sim.MonteCarlo(ctx, cfg)
 	if err != nil {
 		return sim.TrialStats{}, fmt.Errorf("scenario: cell %s k=%d D=%d: %w",
 			cell.Scenario, cell.K, cell.D, err)

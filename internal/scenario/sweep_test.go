@@ -4,6 +4,7 @@ import (
 	"context"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"antsearch/internal/adversary"
@@ -487,5 +488,110 @@ func TestFaultPlanResolution(t *testing.T) {
 		Ks:        []int{1}, Ds: []int{8}, Trials: 1,
 	}).Cells(); err == nil {
 		t.Error("a crash probability without a crash horizon should fail at expansion")
+	}
+}
+
+// runnerMemCheckpointer is a minimal in-memory sim.Checkpointer for plumbing
+// tests.
+type runnerMemCheckpointer struct {
+	mu    sync.Mutex
+	saved []sim.CheckpointState
+}
+
+func (m *runnerMemCheckpointer) Load(valid func(sim.CheckpointState) bool) (sim.CheckpointState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.saved) - 1; i >= 0; i-- {
+		if valid(m.saved[i]) {
+			return m.saved[i], true
+		}
+	}
+	return sim.CheckpointState{}, false
+}
+
+func (m *runnerMemCheckpointer) Save(cp sim.CheckpointState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.saved = append(m.saved, cp)
+	return nil
+}
+
+// TestRunnerProgressAndCheckpointPlumbing pins that the runner threads its
+// Progress and Checkpointer hooks into every cell's TrialConfig, that hooked
+// runs stay bit-identical to plain ones, and that a second run resumes from
+// the first run's checkpoints.
+func TestRunnerProgressAndCheckpointPlumbing(t *testing.T) {
+	t.Parallel()
+
+	cells, err := Grid{
+		Scenarios: []string{"known-k", "uniform"},
+		Params:    DefaultParams(),
+		Ks:        []int{2}, Ds: []int{8},
+		Trials: 4096, Seed: 9,
+	}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Runner{}.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	final := map[string]sim.Progress{}
+	stores := map[string]*runnerMemCheckpointer{}
+	for _, c := range cells {
+		stores[c.Scenario] = &runnerMemCheckpointer{}
+	}
+	r := Runner{
+		CellWorkers: 2,
+		Progress: func(c Cell, p sim.Progress) {
+			mu.Lock()
+			final[c.Scenario] = p
+			mu.Unlock()
+		},
+		Checkpointer:    func(c Cell) sim.Checkpointer { return stores[c.Scenario] },
+		CheckpointEvery: 1,
+	}
+	got, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("hooked run differs from the plain run")
+	}
+	for _, c := range cells {
+		p := final[c.Scenario]
+		if p.ShardsDone != p.TotalShards || p.TrialsDone != c.Trials {
+			t.Errorf("%s: final progress incomplete: %+v", c.Scenario, p)
+		}
+		store := stores[c.Scenario]
+		store.mu.Lock()
+		n := len(store.saved)
+		store.mu.Unlock()
+		if n == 0 {
+			t.Errorf("%s: no checkpoints persisted", c.Scenario)
+		}
+	}
+
+	// A rerun over the same cells resumes from the persisted prefixes and
+	// still produces identical statistics.
+	resumedAny := false
+	r.Progress = func(c Cell, p sim.Progress) {
+		mu.Lock()
+		if p.ResumedShards > 0 {
+			resumedAny = true
+		}
+		mu.Unlock()
+	}
+	got2, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Error("resumed run differs from the plain run")
+	}
+	if !resumedAny {
+		t.Error("no cell resumed from its checkpoints")
 	}
 }

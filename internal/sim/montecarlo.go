@@ -41,6 +41,25 @@ type TrialConfig struct {
 	// alone, so faulty trials shard and merge as deterministically as
 	// fault-free ones.
 	Faults *fault.Plan
+	// Progress, when non-nil, is called after each merged shard (throttled by
+	// ProgressEvery) with the running aggregate — from the goroutine that
+	// serializes merges, so callbacks for one run never race. A nil hook
+	// costs the hot path nothing.
+	Progress func(Progress)
+	// ProgressEvery throttles Progress to every N merged shards (the final
+	// shard always reports). Zero fires on every shard; negative selects an
+	// automatic ~1% stride for mega-cells.
+	ProgressEvery int
+	// Checkpointer, when non-nil, makes the run resumable: the running prefix
+	// aggregate is persisted every CheckpointEvery shards, and on start the
+	// longest valid persisted prefix seeds the fold so only the remaining
+	// shards are computed. Resumed runs finish with aggregates bit-identical
+	// to uninterrupted ones (the ordered replay merge makes the prefix state
+	// a pure function of the trial prefix). Save failures never fail the run.
+	Checkpointer Checkpointer
+	// CheckpointEvery is the shard interval between persisted checkpoints
+	// (0 = DefaultCheckpointEvery; meaningful only with a Checkpointer).
+	CheckpointEvery int
 }
 
 // Validate reports whether the configuration is usable.
@@ -413,28 +432,143 @@ func MonteCarlo(ctx context.Context, cfg TrialConfig) (TrialStats, error) {
 	}
 
 	shards := planShards(cfg.Trials, cfg.Workers)
-	// Merges arrive serialized in shard order, so the first shard's
-	// accumulator is adopted as the running total outright: merging it into
-	// an empty accumulator would replay its complete observation log — the
-	// exact state it already holds — while re-growing every value slice.
-	var total *TrialAccumulator
-	err := parallel.ReduceOrdered(ctx, shards, cfg.Workers, func(s int) (*TrialAccumulator, error) {
+	// The fold state lives in one struct captured by the closures below, so
+	// the no-hook path allocates exactly what the pre-progress engine did:
+	// one escaped variable, whatever the number of fields.
+	st := foldState{cfg: &cfg, shards: shards}
+	st.resume()
+	if cfg.Progress != nil && st.resumed > 0 {
+		// Report the restored prefix before any new shard computes, so a
+		// consumer learns immediately that (and how far) the run resumed.
+		st.report()
+	}
+	err := parallel.ReduceOrderedFrom(ctx, st.shardsDone, shards, cfg.Workers, func(s int) (*TrialAccumulator, error) {
 		lo, hi := shardRange(cfg.Trials, shards, s)
 		return runShard(ctx, cfg, alg, lo, hi)
-	}, func(acc *TrialAccumulator) {
-		if total == nil {
-			total = acc
-			return
-		}
-		total.Merge(acc)
-	})
+	}, st.merge)
 	if err != nil {
 		return TrialStats{}, fmt.Errorf("sim: monte carlo: %w", err)
 	}
-	if total == nil {
-		total = NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
+	if st.total == nil {
+		st.total = NewTrialAccumulator(cfg.NumAgents, cfg.Adversary.Distance())
 	}
-	return total.Stats(), nil
+	return st.total.Stats(), nil
+}
+
+// foldState carries the running total and progress/checkpoint bookkeeping of
+// one MonteCarlo fold. merge is the ReduceOrderedFrom sink: calls arrive
+// serialized in shard order, so no field needs locking.
+type foldState struct {
+	cfg        *TrialConfig
+	shards     int
+	total      *TrialAccumulator
+	shardsDone int
+	resumed    int // shards restored from a checkpoint, <= shardsDone
+}
+
+// resume seeds the fold from the longest valid persisted prefix, if the
+// configuration carries a Checkpointer and the store holds one. Validity is
+// strict: the checkpoint's totals must match this run, its trial prefix must
+// end exactly on a shard boundary of the current plan (checkpoints written
+// under a different worker count resume when their boundary aligns — the
+// aggregate is partition-blind, so the result stays bit-identical), and its
+// state must decode into a consistent accumulator covering that prefix.
+// Anything else is ignored and the run starts fresh; a checkpoint can only
+// ever save work, never corrupt a result.
+func (st *foldState) resume() {
+	if st.cfg.Checkpointer == nil {
+		return
+	}
+	cfg := st.cfg
+	var restored *TrialAccumulator
+	resumeShard := 0
+	_, ok := cfg.Checkpointer.Load(func(cp CheckpointState) bool {
+		if cp.TotalTrials != cfg.Trials {
+			return false
+		}
+		s := alignShard(cfg.Trials, st.shards, cp.TrialsDone)
+		if s < 1 {
+			return false
+		}
+		acc := new(TrialAccumulator)
+		if err := acc.UnmarshalBinary(cp.State); err != nil {
+			return false
+		}
+		if acc.trials != cp.TrialsDone || acc.numAgents != cfg.NumAgents ||
+			acc.distance != cfg.Adversary.Distance() {
+			return false
+		}
+		restored, resumeShard = acc, s
+		return true
+	})
+	if !ok {
+		return
+	}
+	st.total = restored
+	st.shardsDone = resumeShard
+	st.resumed = resumeShard
+}
+
+// merge folds one shard accumulator into the running total and drives the
+// progress and checkpoint hooks. Merges arrive serialized in shard order, so
+// the first shard of a fresh run is adopted outright: merging it into an
+// empty accumulator would replay its complete observation log — the exact
+// state it already holds — while re-growing every value slice.
+func (st *foldState) merge(acc *TrialAccumulator) {
+	if st.total == nil {
+		st.total = acc
+	} else {
+		st.total.Merge(acc)
+	}
+	st.shardsDone++
+	cfg := st.cfg
+	if cfg.Progress != nil {
+		if stride := progressStride(cfg.ProgressEvery, st.shards); st.shardsDone%stride == 0 || st.shardsDone == st.shards {
+			st.report()
+		}
+	}
+	if cfg.Checkpointer != nil && st.shardsDone < st.shards {
+		every := cfg.CheckpointEvery
+		if every <= 0 {
+			every = DefaultCheckpointEvery
+		}
+		if st.shardsDone%every == 0 {
+			if state, err := st.total.MarshalBinary(); err == nil {
+				// Save errors are deliberately dropped: the Checkpointer owns
+				// counting and degrading (a full disk turns the run into a
+				// progress-only one), the fold just keeps going.
+				_ = cfg.Checkpointer.Save(CheckpointState{
+					ShardsDone:  st.shardsDone,
+					TotalShards: st.shards,
+					TrialsDone:  st.trialsDone(),
+					TotalTrials: cfg.Trials,
+					State:       state,
+				})
+			}
+		}
+	}
+}
+
+// trialsDone is the number of trials covered by the first shardsDone shards:
+// the lo boundary of the next shard, by the shardRange construction.
+func (st *foldState) trialsDone() int {
+	if st.shardsDone >= st.shards {
+		return st.cfg.Trials
+	}
+	lo, _ := shardRange(st.cfg.Trials, st.shards, st.shardsDone)
+	return lo
+}
+
+// report fires the progress hook with a snapshot of the running aggregate.
+func (st *foldState) report() {
+	st.cfg.Progress(Progress{
+		ShardsDone:    st.shardsDone,
+		TotalShards:   st.shards,
+		TrialsDone:    st.trialsDone(),
+		TotalTrials:   st.cfg.Trials,
+		ResumedShards: st.resumed,
+		Stats:         st.total.Stats(),
+	})
 }
 
 // MonteCarloResults runs the trials like MonteCarlo but returns the raw
