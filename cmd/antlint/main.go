@@ -3,10 +3,18 @@
 //
 //	go run ./cmd/antlint ./...
 //
-// It prints one line per finding in go-vet format and exits non-zero when
-// anything is found, so it slots directly into CI. The suite enforces the
-// engine's determinism contract (detrand, maporder), the wire-schema
-// contract (wiretag) and the hot-path/locking contracts (hotpath, lockio).
+// By default it prints one line per finding in go-vet format and exits
+// non-zero when anything is found, so it slots directly into CI. With -json
+// or -sarif it instead emits a machine-readable report (stable, sorted —
+// CI turns the JSON into GitHub ::error annotations); with -fix it applies
+// the suggested fixes diagnostics carry before reporting what remains.
+//
+// The suite enforces the engine's determinism contract (detrand, maporder,
+// rngpath), the wire-schema contracts (wiretag, codecver), the
+// hot-path/locking contracts (hotpath, lockio) and the durability tier's
+// error discipline (storeerr). Analyzers propagate facts across package
+// boundaries, so a hot function calling an allocating helper two packages
+// away is a finding at the call site.
 package main
 
 import (
@@ -23,8 +31,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+	fix := flag.Bool("fix", false, "apply suggested fixes, then report what remains")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: antlint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: antlint [-json|-sarif] [-fix] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n             "))
 		}
@@ -36,6 +47,10 @@ func main() {
 			fmt.Printf("%-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "antlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -57,13 +72,69 @@ func main() {
 		fmt.Fprintln(os.Stderr, "antlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *fix {
+		fixed, err := lint.ApplyFixes(findings, os.ReadFile, func(name string, data []byte) error {
+			return os.WriteFile(name, data, 0o644)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "antlint: applying fixes:", err)
+			os.Exit(2)
+		}
+		if fixed > 0 {
+			fmt.Fprintf(os.Stderr, "antlint: applied %d fix(es); re-analyzing\n", fixed)
+			// Positions in the remaining findings are stale after rewriting;
+			// re-run the suite against the fixed tree.
+			loader = load.New(moduleDir)
+			pkgs, err = loader.Load(patterns...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "antlint:", err)
+				os.Exit(2)
+			}
+			findings, err = lint.RunAnalyzers(pkgs, lint.Analyzers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "antlint:", err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	// Findings carry loader-view (absolute) paths; report them relative to
+	// the module root so output is machine-stable across checkouts.
+	for i := range findings {
+		findings[i].File = relToModule(moduleDir, findings[i].File)
+	}
+
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "antlint:", err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, findings, lint.Analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "antlint:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "antlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// relToModule renders path relative to the module root when it sits inside
+// it, slash-separated; anything else is returned unchanged.
+func relToModule(moduleDir, path string) string {
+	rel, err := filepath.Rel(moduleDir, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
 }
 
 // moduleRoot locates the enclosing module's directory.

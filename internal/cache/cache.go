@@ -56,7 +56,7 @@ func Fingerprint(parts ...any) Key {
 	h := sha256.New()
 	for _, p := range parts {
 		s := fmt.Sprintf("%v", p)
-		fmt.Fprintf(h, "%d:%s", len(s), s)
+		fmt.Fprintf(h, "%d:%s", len(s), s) //antlint:allow storeerr hash.Hash writes never fail
 	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }
@@ -239,8 +239,11 @@ func (c *Cache) Snapshot() error {
 
 // Close snapshots the cache into the store and closes it (a no-op without
 // one). The cache itself stays usable as a memory-only cache afterwards.
+// Snapshot and close failures are independent losses (the compaction and the
+// final flush of the log handle), so both are joined into the returned error
+// rather than the first masking the second, and each counts as a store error.
 func (c *Cache) Close() error {
-	err := c.Snapshot()
+	err := c.Snapshot() // counts its own failure in storeErrors
 	c.mu.Lock()
 	store := c.store
 	c.store = nil
@@ -248,8 +251,11 @@ func (c *Cache) Close() error {
 	if store == nil {
 		return err
 	}
-	if cerr := store.Close(); err == nil {
-		err = cerr
+	if cerr := store.Close(); cerr != nil {
+		c.mu.Lock()
+		c.storeErrors++
+		c.mu.Unlock()
+		err = errors.Join(err, cerr)
 	}
 	return err
 }
@@ -316,7 +322,7 @@ func (c *Cache) Do(ctx context.Context, key Key, compute func(ctx context.Contex
 			// the post-compaction log — either way the entry is durable.
 			// Store failures degrade to memory-only serving, counted, never
 			// surfaced to the caller who asked for a simulation result.
-			err := store.Append(Entry{Key: key, Stats: f.val})
+			err := store.Append(Entry{Key: key, Stats: f.val}) //antlint:allow storeerr deliberate shadow: an append failure is counted below, never surfaced to the caller
 			c.mu.Lock()
 			if err != nil {
 				c.storeErrors++

@@ -317,3 +317,53 @@ func TestCellKeyDiscriminates(t *testing.T) {
 		seen[k] = name
 	}
 }
+
+// failingStore fails exactly where the test tells it to; everything else is
+// a no-op in-memory Store.
+type failingStore struct {
+	snapshotErr error
+	closeErr    error
+}
+
+func (s *failingStore) Load(func(Entry)) error { return nil }
+func (s *failingStore) Append(Entry) error     { return nil }
+func (s *failingStore) Snapshot([]Entry) error { return s.snapshotErr }
+func (s *failingStore) Close() error           { return s.closeErr }
+
+// TestCloseJoinsSnapshotAndCloseErrors is the regression test for the defect
+// the storeerr audit surfaced: when the shutdown snapshot AND the store's
+// Close both failed, Close returned only the snapshot error — the close
+// failure was silently dropped and never counted. Both errors must surface
+// (errors.Is through the join) and both must count as store errors.
+func TestCloseJoinsSnapshotAndCloseErrors(t *testing.T) {
+	t.Parallel()
+
+	snapErr := errors.New("snapshot failed")
+	closeErr := errors.New("close failed")
+	c, err := NewWithStore(4, &failingStore{snapshotErr: snapErr, closeErr: closeErr})
+	if err != nil {
+		t.Fatalf("NewWithStore: %v", err)
+	}
+	err = c.Close()
+	if !errors.Is(err, snapErr) {
+		t.Errorf("Close error %v does not wrap the snapshot failure", err)
+	}
+	if !errors.Is(err, closeErr) {
+		t.Errorf("Close error %v does not wrap the store-close failure (the dropped error this test pins)", err)
+	}
+	if st := c.Stats(); st.StoreErrors != 2 {
+		t.Errorf("StoreErrors = %d after failed snapshot and failed close, want 2", st.StoreErrors)
+	}
+
+	// The close failure alone must also surface and count.
+	c2, err := NewWithStore(4, &failingStore{closeErr: closeErr})
+	if err != nil {
+		t.Fatalf("NewWithStore: %v", err)
+	}
+	if err := c2.Close(); !errors.Is(err, closeErr) {
+		t.Errorf("Close error %v does not surface the store-close failure", err)
+	}
+	if st := c2.Stats(); st.StoreErrors != 1 {
+		t.Errorf("StoreErrors = %d after failed close, want 1", st.StoreErrors)
+	}
+}

@@ -45,6 +45,7 @@ const maxCheckpointsPerCell = 8
 // comparison, not silently decoded into a short state that then fails —
 // or worse, passes — the accumulator decoder.
 //
+//antlint:codec version=CheckpointSchemaVersion fields=SchemaVersion,Key,ShardsDone,TotalShards,TrialsDone,TotalTrials,StateLen,State
 //antlint:wire
 type checkpointRecord struct {
 	SchemaVersion int    `json:"schema_version"`
@@ -116,13 +117,13 @@ func OpenCheckpointStore(dir string) (*CheckpointStore, error) {
 	sweepOrphans(dir, checkpointSnapshotFile+".tmp-*")
 	log, err := os.OpenFile(filepath.Join(dir, checkpointLogFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		lock.Close()
+		lock.Close() //antlint:allow storeerr open failed; the claim is being abandoned, nothing acknowledged can be lost
 		return nil, fmt.Errorf("cache: open checkpoint log: %w", err)
 	}
 	s := &CheckpointStore{dir: dir, log: log, lock: lock, index: make(map[Key][]sim.CheckpointState)}
 	for _, name := range []string{checkpointSnapshotFile, checkpointLogFile} {
 		if err := s.loadFile(filepath.Join(dir, name)); err != nil {
-			log.Close()
+			log.Close() //antlint:allow storeerr open failed; best-effort cleanup of both handles, the load error propagates
 			lock.Close()
 			return nil, err
 		}
@@ -141,7 +142,7 @@ func (s *CheckpointStore) loadFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("cache: load checkpoint store: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //antlint:allow storeerr read-only handle; a close failure cannot lose data
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
 	for sc.Scan() {

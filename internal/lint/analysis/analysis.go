@@ -6,13 +6,20 @@
 // importable. The analyzers in internal/lint are written against this
 // package instead; the types are deliberately field-for-field compatible
 // with their x/tools namesakes (Analyzer.Name/Doc/Run, Pass.Fset/Files/
-// Pkg/TypesInfo/Report, Diagnostic.Pos/Message), so porting the suite onto
-// the upstream framework, should the dependency ever become available, is a
-// one-line import change per file.
+// Pkg/TypesInfo/Report/ExportObjectFact/..., Diagnostic.Pos/Message/
+// SuggestedFixes), so porting the suite onto the upstream framework, should
+// the dependency ever become available, is a one-line import change per file.
 //
-// Only the pieces antlint uses exist: there are no Facts, no Requires graph
-// and no suggested fixes. Each analyzer is a pure function of one package's
-// syntax and types.
+// Facts are the cross-package propagation mechanism: while a pass analyzes
+// one package, it may attach a Fact to any of the package's objects (or to
+// the package itself); passes over downstream packages import those facts to
+// reason about calls that cross the package boundary. Unlike x/tools, facts
+// here are never serialized — the driver analyzes the whole dependency
+// closure in one process, in dependency order, so a FactStore held in memory
+// is sufficient and facts need no encoding methods. A second deliberate
+// simplification: the store is shared by the whole suite rather than
+// partitioned per analyzer, because the suite's fact types are a closed,
+// cooperating set (see lint.FuncBehavior) rather than an open ecosystem.
 package analysis
 
 import (
@@ -20,6 +27,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // Analyzer describes one static check.
@@ -32,6 +40,23 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+	// FactTypes lists the fact types the analyzer exports or imports, for
+	// documentation; the in-memory store does not require registration.
+	FactTypes []Fact
+}
+
+// Fact is a datum attached to an object or package during analysis of one
+// package and visible to passes over packages that import it. Facts must be
+// pointers to structs; AFact is a marker method, after x/tools.
+type Fact interface {
+	AFact()
+}
+
+// PackageFact is one package-level fact paired with its package, as returned
+// by Pass.AllPackageFacts.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
 }
 
 // Pass is the interface between one analyzer and one package being analyzed.
@@ -47,15 +72,137 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
+
+	// ExportObjectFact associates fact with obj. Set by the driver; nil when
+	// the driver does not support facts (a single-package run), in which case
+	// analyzers must degrade to package-local reasoning.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	// ImportObjectFact copies into *fact the fact of fact's type previously
+	// exported for obj, reporting whether one existed. Nil without a driver
+	// fact store.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+	// ExportPackageFact associates fact with the package being analyzed.
+	ExportPackageFact func(fact Fact)
+	// ImportPackageFact copies into *fact the fact of fact's type previously
+	// exported for pkg, reporting whether one existed.
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
+	// AllPackageFacts returns every package-level fact exported so far, in a
+	// deterministic (package-path, then export) order.
+	AllPackageFacts func() []PackageFact
 }
 
 // Diagnostic is one finding, anchored to a source position.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// SuggestedFixes are machine-applicable rewrites that would resolve the
+	// diagnostic; `antlint -fix` applies the first fix of each diagnostic.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained rewrite resolving a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FactStore is the driver-side home of every fact exported during a run.
+// One store is shared by all analyzers across all packages of a run; the
+// driver binds it to each Pass with Bind. The zero value is not usable;
+// construct with NewFactStore. Not safe for concurrent use — the driver
+// analyzes packages sequentially, in dependency order.
+type FactStore struct {
+	objects  map[objectFactKey]Fact
+	packages map[packageFactKey]Fact
+	// order records package facts in export order so AllPackageFacts is
+	// deterministic without re-sorting pointers.
+	order []PackageFact
+}
+
+type objectFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type packageFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		objects:  make(map[objectFactKey]Fact),
+		packages: make(map[packageFactKey]Fact),
+	}
+}
+
+// factType validates that fact is a pointer to a struct and returns its type.
+func factType(fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T is not a pointer to a struct", fact))
+	}
+	return t
+}
+
+// Bind wires the store's fact operations into the pass. pkg is the package
+// the pass analyzes (the target of ExportPackageFact).
+func (s *FactStore) Bind(pass *Pass) {
+	pkg := pass.Pkg
+	pass.ExportObjectFact = func(obj types.Object, fact Fact) {
+		if obj == nil {
+			panic("analysis: ExportObjectFact on nil object")
+		}
+		s.objects[objectFactKey{obj, factType(fact)}] = fact
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact Fact) bool {
+		if obj == nil {
+			return false
+		}
+		stored, ok := s.objects[objectFactKey{obj, factType(fact)}]
+		if !ok {
+			return false
+		}
+		reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+		return true
+	}
+	pass.ExportPackageFact = func(fact Fact) {
+		key := packageFactKey{pkg, factType(fact)}
+		if _, exists := s.packages[key]; !exists {
+			s.order = append(s.order, PackageFact{Package: pkg, Fact: fact})
+		} else {
+			for i := range s.order {
+				if s.order[i].Package == pkg && reflect.TypeOf(s.order[i].Fact) == key.t {
+					s.order[i].Fact = fact
+				}
+			}
+		}
+		s.packages[key] = fact
+	}
+	pass.ImportPackageFact = func(p *types.Package, fact Fact) bool {
+		stored, ok := s.packages[packageFactKey{p, factType(fact)}]
+		if !ok {
+			return false
+		}
+		reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+		return true
+	}
+	pass.AllPackageFacts = func() []PackageFact {
+		out := make([]PackageFact, len(s.order))
+		copy(out, s.order)
+		return out
+	}
 }

@@ -64,9 +64,11 @@ type diagnostic struct {
 }
 
 // Run loads the named fixture packages from testdata/src (test files
-// included), applies the analyzer to each, and reports every mismatch
-// between its diagnostics and the fixtures' want comments as a test error:
-// a diagnostic no want expects, or a want no diagnostic satisfies.
+// included), applies the analyzer to each in dependency order with a shared
+// fact store — so fixtures can exercise cross-package fact propagation — and
+// reports every mismatch between its diagnostics and the fixtures' want
+// comments as a test error: a diagnostic no want expects, or a want no
+// diagnostic satisfies.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	loader := load.New(moduleRoot(t, testdata), filepath.Join(testdata, "src"))
@@ -79,9 +81,10 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 		t.Fatalf("analysistest: loaded %d packages for %d paths %v", len(pkgs), len(paths), paths)
 	}
 
+	store := analysis.NewFactStore()
 	var diags []diagnostic
 	var wants []expectation
-	for _, pkg := range pkgs {
+	for _, pkg := range load.SortDeps(pkgs) {
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -89,6 +92,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 		}
+		store.Bind(pass)
 		pass.Report = func(d analysis.Diagnostic) {
 			p := pkg.Fset.Position(d.Pos)
 			diags = append(diags, diagnostic{file: p.Filename, line: p.Line, message: d.Message})

@@ -10,14 +10,14 @@ import (
 
 // Analyzers is the antlint suite, in reporting order. cmd/antlint runs all
 // of them; the self-check test runs them over this repository itself.
-var Analyzers = []*analysis.Analyzer{Detrand, MapOrder, WireTag, HotPath, LockIO}
+var Analyzers = []*analysis.Analyzer{Detrand, MapOrder, WireTag, HotPath, LockIO, RNGPath, CodecVer, StoreErr}
 
 // analyzerNameList mirrors Analyzers by name. It is a separate literal —
 // not derived from Analyzers — because the directive parser consults it from
 // inside the analyzers' Run closures, which would otherwise form an
 // initialization cycle; TestAnalyzerNameListMatchesRegistry pins the two
 // against drift.
-var analyzerNameList = []string{"detrand", "maporder", "wiretag", "hotpath", "lockio"}
+var analyzerNameList = []string{"detrand", "maporder", "wiretag", "hotpath", "lockio", "rngpath", "codecver", "storeerr"}
 
 // knownAnalyzer reports whether name names a suite analyzer (the validity
 // check for //antlint:allow targets).
@@ -38,21 +38,44 @@ func analyzerNames() []string {
 // Finding is one diagnostic, tagged with the analyzer that produced it.
 type Finding struct {
 	Analyzer string
-	// Position is the rendered file:line:col.
-	Position string
-	Message  string
+	// File, Line and Col locate the finding; File is as the loader saw it
+	// (absolute for module packages) — callers relativize for display.
+	File    string
+	Line    int
+	Col     int
+	Message string
+	// Edits is the first suggested fix's rewrites, resolved to byte offsets,
+	// empty when the diagnostic carries no machine-applicable fix.
+	Edits []Edit
 }
+
+// Edit is one resolved text replacement: bytes [Start, End) of File become
+// NewText.
+type Edit struct {
+	File    string
+	Start   int
+	End     int
+	NewText string
+}
+
+// Fixable reports whether the finding carries a suggested fix.
+func (f Finding) Fixable() bool { return len(f.Edits) > 0 }
 
 // String renders the finding the way go vet renders diagnostics.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
 }
 
 // RunAnalyzers applies every given analyzer to every package and returns the
-// findings sorted by position then analyzer.
+// findings sorted by position then analyzer. Packages are analyzed in
+// dependency order with a shared fact store, so facts a pass exports about a
+// package's functions are visible to passes over the packages that import it
+// — the cross-package propagation the hotpath/detrand transitive checks and
+// the rngpath registry rule rely on.
 func RunAnalyzers(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	store := analysis.NewFactStore()
 	var findings []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range load.SortDeps(pkgs) {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -61,24 +84,51 @@ func RunAnalyzers(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Findi
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 			}
+			store.Bind(pass)
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {
-				findings = append(findings, Finding{
-					Analyzer: name,
-					Position: pkg.Fset.Position(d.Pos).String(),
-					Message:  d.Message,
-				})
+				findings = append(findings, newFinding(pkg, name, d))
 			}
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].Position != findings[j].Position {
-			return findings[i].Position < findings[j].Position
-		}
-		return findings[i].Analyzer < findings[j].Analyzer
-	})
+	SortFindings(findings)
 	return findings, nil
+}
+
+// newFinding resolves one diagnostic's position and suggested fix against
+// the package's file set.
+func newFinding(pkg *load.Package, analyzer string, d analysis.Diagnostic) Finding {
+	p := pkg.Fset.Position(d.Pos)
+	f := Finding{Analyzer: analyzer, File: p.Filename, Line: p.Line, Col: p.Column, Message: d.Message}
+	if len(d.SuggestedFixes) > 0 {
+		for _, e := range d.SuggestedFixes[0].TextEdits {
+			sp, ep := pkg.Fset.Position(e.Pos), pkg.Fset.Position(e.End)
+			f.Edits = append(f.Edits, Edit{File: sp.Filename, Start: sp.Offset, End: ep.Offset, NewText: string(e.NewText)})
+		}
+	}
+	return f
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message —
+// the stable order every output format emits.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }

@@ -23,9 +23,11 @@ func TestAnalyzerNameListMatchesRegistry(t *testing.T) {
 
 // TestDetrand proves the seeded regression of the determinism contract: a
 // math/rand import or a time.Now call inside a guarded engine package is a
-// finding, while the same code outside the guarded paths is not.
+// finding, while the same code outside the guarded paths is not. The
+// clockhelper fixture is analyzed first so its exported behavior facts make
+// the guarded package's *transitive* clock reads findings too.
 func TestDetrand(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), Detrand, "antsearch/internal/sim", "plain")
+	analysistest.Run(t, analysistest.TestData(t), Detrand, "clockhelper", "antsearch/internal/sim", "plain")
 }
 
 // TestDirectiveHygiene proves malformed directives are diagnostics, not
@@ -49,6 +51,29 @@ func TestHotPath(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), HotPath, "hotpath")
 }
 
+// TestHotPathCrossPackage is the tentpole's acceptance test: a hot body
+// reaching an allocation or a dispatch through a callee in another package
+// is a finding at the call site, carried there by FuncBehavior facts. The
+// pre-fact-layer suite reports nothing on these fixtures.
+func TestHotPathCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), HotPath, "hotpathdep/helper", "hotpathdep/hot")
+}
+
 func TestLockIO(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), LockIO, "lockio")
+}
+
+// TestRNGPath covers the registry rules (collisions, non-integer tags, a
+// constant declared outside the registry, a second registry package) and the
+// call-site rule resolving constants through imported facts.
+func TestRNGPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), RNGPath, "rngtest/xrand", "rngtest/user", "rngtest/zweit/xrand")
+}
+
+func TestCodecVer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), CodecVer, "codecver")
+}
+
+func TestStoreErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), StoreErr, "antsearch/internal/cache")
 }

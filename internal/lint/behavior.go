@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// FuncBehavior is the object fact the suite exports for every function whose
+// body exhibits (directly or through callees) a property the contract
+// analyzers care about. It is the cross-package propagation currency: hotpath
+// and detrand import it to flag violations a hot or deterministic body
+// reaches through a callee in another package.
+//
+// Bits are allow-aware at the source: a construct suppressed with
+// //antlint:allow hotpath (or detrand, for the clock bit) inside the callee
+// does not set the bit, so a sanctioned dispatch never poisons its callers.
+// Functions that are themselves //antlint:hotpath-marked export
+// Marked=true with the allocation/dispatch bits clear — their violations are
+// reported at the definition, exactly once, not at every call site — and
+// functions in detrand-guarded packages never export the clock bit for the
+// same reason.
+type FuncBehavior struct {
+	// Allocates: the function (transitively) builds a closure, calls fmt/log,
+	// or boxes a value into an interface argument.
+	Allocates    bool
+	AllocatesVia string
+	// Dispatches: the function (transitively) performs an interface method
+	// call that is not a type-parameter dictionary call.
+	Dispatches    bool
+	DispatchesVia string
+	// ReadsClock: the function (transitively) calls time.Now/Since/Until.
+	ReadsClock    bool
+	ReadsClockVia string
+	// Marked records that the function is //antlint:hotpath-marked and is
+	// therefore checked at its definition; callers treat it as certified.
+	Marked bool
+}
+
+// AFact marks FuncBehavior as an analysis fact.
+func (*FuncBehavior) AFact() {}
+
+// behaviorsComputed is the package fact recording that ensureBehaviors
+// already ran for a package, so the second analyzer to ask does not recompute.
+type behaviorsComputed struct{}
+
+func (*behaviorsComputed) AFact() {}
+
+// calleeEdge is one same-package static call, kept for fixpoint propagation.
+type calleeEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// funcSummary accumulates one function's behavior during computation.
+type funcSummary struct {
+	obj   *types.Func
+	b     FuncBehavior
+	calls []calleeEdge
+}
+
+// ensureBehaviors computes and exports a FuncBehavior fact for every function
+// declared in the pass's package, folding in the already-exported facts of
+// callees in imported packages (the driver analyzes dependencies first).
+// It runs once per package regardless of which analyzer asks first, and is a
+// no-op under drivers without a fact store.
+func ensureBehaviors(pass *analysis.Pass, dirs *Directives) {
+	if pass.ExportPackageFact == nil {
+		return
+	}
+	if pass.ImportPackageFact(pass.Pkg, &behaviorsComputed{}) {
+		return
+	}
+	pass.ExportPackageFact(&behaviorsComputed{})
+
+	guarded := detrandGuarded(pass.Pkg.Path())
+	summaries := make(map[*types.Func]*funcSummary)
+	var order []*funcSummary
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &funcSummary{obj: obj}
+			s.b.Marked = dirs.Marked(VerbHotpath, fn)
+			summarizeBody(pass, dirs, fn.Body, guarded, s)
+			summaries[obj] = s
+			order = append(order, s)
+		}
+	}
+
+	// Fixpoint over same-package edges: bits are monotone, so iterate until
+	// nothing changes. Each merge honors the allow directives at the call
+	// site, like the direct constructs did.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range order {
+			for _, e := range s.calls {
+				cs := summaries[e.callee]
+				if cs == nil || cs.b.Marked {
+					continue
+				}
+				if mergeBehavior(&s.b, &cs.b, dirs, e.pos, guarded, "calls "+funcDisplayName(e.callee)) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, s := range order {
+		if s.b.Allocates || s.b.Dispatches || s.b.ReadsClock || s.b.Marked {
+			b := s.b
+			pass.ExportObjectFact(s.obj, &b)
+		}
+	}
+}
+
+// summarizeBody records the body's direct behavior bits and same-package
+// call edges into s.
+func summarizeBody(pass *analysis.Pass, dirs *Directives, body *ast.BlockStmt, guarded bool, s *funcSummary) {
+	setAlloc := func(pos token.Pos, via string) {
+		if !s.b.Marked && !s.b.Allocates && !dirs.Allowed("hotpath", pos) {
+			s.b.Allocates, s.b.AllocatesVia = true, via
+		}
+	}
+	setDispatch := func(pos token.Pos, via string) {
+		if !s.b.Marked && !s.b.Dispatches && !dirs.Allowed("hotpath", pos) {
+			s.b.Dispatches, s.b.DispatchesVia = true, via
+		}
+	}
+	setClock := func(pos token.Pos, via string) {
+		if !guarded && !s.b.ReadsClock && !dirs.Allowed("detrand", pos) {
+			s.b.ReadsClock, s.b.ReadsClockVia = true, via
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal itself is the allocation; its body is still walked
+			// (calls and clock reads inside count against the enclosing
+			// function — conservative, and what detrand needs for callbacks).
+			setAlloc(n.Pos(), "func literal")
+		case *ast.CallExpr:
+			summarizeCall(pass, dirs, n, guarded, s, setAlloc, setDispatch, setClock)
+		}
+		return true
+	})
+}
+
+// summarizeCall classifies one call for the behavior summary.
+func summarizeCall(pass *analysis.Pass, dirs *Directives, call *ast.CallExpr, guarded bool, s *funcSummary,
+	setAlloc, setDispatch, setClock func(token.Pos, string)) {
+	// Interface dispatch (the same rule checkHotCall applies directly).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection, ok := pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			recv := selection.Recv()
+			if _, isTypeParam := types.Unalias(recv).(*types.TypeParam); !isTypeParam && types.IsInterface(recv) {
+				setDispatch(call.Pos(), "interface call "+exprString(sel.X)+"."+sel.Sel.Name)
+				return
+			}
+		}
+	}
+	callee := staticCallee(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	switch path := callee.Pkg().Path(); {
+	case path == "fmt" || path == "log":
+		setAlloc(call.Pos(), path+"."+callee.Name()+" call")
+	case path == "time" && detrandTimeFuncs[callee.Name()]:
+		setClock(call.Pos(), "time."+callee.Name()+" call")
+	case callee.Pkg() == pass.Pkg:
+		s.calls = append(s.calls, calleeEdge{callee: callee, pos: call.Pos()})
+	default:
+		var fb FuncBehavior
+		if pass.ImportObjectFact != nil && pass.ImportObjectFact(callee, &fb) && !fb.Marked {
+			mergeBehavior(&s.b, &fb, dirs, call.Pos(), guarded, "calls "+funcDisplayName(callee))
+		}
+	}
+}
+
+// mergeBehavior folds the callee's bits into the caller's, honoring the
+// caller's marked/guarded status and the allow directives at the call site.
+// It reports whether anything changed.
+func mergeBehavior(dst, src *FuncBehavior, dirs *Directives, pos token.Pos, guarded bool, via string) bool {
+	changed := false
+	if src.Allocates && !dst.Allocates && !dst.Marked && !dirs.Allowed("hotpath", pos) {
+		dst.Allocates, dst.AllocatesVia = true, via
+		changed = true
+	}
+	if src.Dispatches && !dst.Dispatches && !dst.Marked && !dirs.Allowed("hotpath", pos) {
+		dst.Dispatches, dst.DispatchesVia = true, via
+		changed = true
+	}
+	if src.ReadsClock && !dst.ReadsClock && !guarded && !dirs.Allowed("detrand", pos) {
+		dst.ReadsClock, dst.ReadsClockVia = true, via
+		changed = true
+	}
+	return changed
+}
+
+// staticCallee resolves the concrete *types.Func a call statically invokes:
+// a package-level function, a method on a concrete receiver, or nil for
+// interface dispatch, type-parameter calls, builtins, conversions and
+// function-valued expressions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := astUnparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			f, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			recv := sel.Recv()
+			if _, isTypeParam := types.Unalias(recv).(*types.TypeParam); isTypeParam || types.IsInterface(recv) {
+				return nil
+			}
+			return f
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// astUnparen strips parentheses from an expression.
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// funcDisplayName renders a function for diagnostics: pkg.Func, or
+// pkg.Type.Method for methods.
+func funcDisplayName(f *types.Func) string {
+	name := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + name
+	}
+	return name
+}

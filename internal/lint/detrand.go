@@ -57,6 +57,10 @@ var Detrand = &analysis.Analyzer{
 
 func runDetrand(pass *analysis.Pass) (any, error) {
 	dirs := ParseDirectives(pass, true) // detrand owns directive-syntax hygiene
+	// Behavior facts are computed for every package — unguarded ones too:
+	// it is exactly the unguarded helpers that guarded code must not reach a
+	// wall clock through.
+	ensureBehaviors(pass, dirs)
 	if !detrandGuarded(pass.Pkg.Path()) {
 		return nil, nil
 	}
@@ -73,20 +77,41 @@ func runDetrand(pass *analysis.Pass) (any, error) {
 			pass.Reportf(imp.Pos(), "import of %s (%s) in deterministic engine package %s; derive randomness from internal/xrand streams", path, why, pass.Pkg.Path())
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || !detrandTimeFuncs[sel.Sel.Name] {
-				return true
-			}
-			ident, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
-			if !ok || pkgName.Imported().Path() != "time" {
-				return true
-			}
-			if !dirs.Allowed(pass.Analyzer.Name, sel.Pos()) {
-				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in deterministic engine package %s; results may never depend on real time", sel.Sel.Name, pass.Pkg.Path())
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel := n
+				if !detrandTimeFuncs[sel.Sel.Name] {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "time" {
+					return true
+				}
+				if !dirs.Allowed(pass.Analyzer.Name, sel.Pos()) {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock in deterministic engine package %s; results may never depend on real time", sel.Sel.Name, pass.Pkg.Path())
+				}
+			case *ast.CallExpr:
+				// Transitive reads: a static callee outside the guarded set
+				// whose behavior fact says it (eventually) reads the clock.
+				// Guarded callees are skipped — their reads are reported at
+				// the definition, once.
+				callee := staticCallee(pass.TypesInfo, n)
+				if callee == nil || callee.Pkg() == nil || pass.ImportObjectFact == nil {
+					return true
+				}
+				if detrandGuarded(callee.Pkg().Path()) {
+					return true
+				}
+				var fb FuncBehavior
+				if pass.ImportObjectFact(callee, &fb) && fb.ReadsClock {
+					if !dirs.Allowed(pass.Analyzer.Name, n.Pos()) {
+						pass.Reportf(n.Pos(), "call of %s reads the wall clock (%s) in deterministic engine package %s; results may never depend on real time", funcDisplayName(callee), fb.ReadsClockVia, pass.Pkg.Path())
+					}
+				}
 			}
 			return true
 		})

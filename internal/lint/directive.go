@@ -34,12 +34,23 @@ import (
 //	//antlint:blocking      — marks a method (declaration or interface
 //	    method) that performs blocking I/O, extending lockio's reach beyond
 //	    the os.File operations it knows intrinsically.
+//	//antlint:rngpath       — marks a named constant as a member of the RNG
+//	    path-tag registry; checked by rngpath, which also demands that every
+//	    constant path argument to xrand's stream constructors resolves to a
+//	    marked constant.
+//	//antlint:codec k=v ... — marks a struct whose binary or JSON encoding is
+//	    a versioned schema commitment; checked by codecver. Arguments are
+//	    key=value pairs: version=<Const> (required), fields=<f1,f2,...>
+//	    (required, the committed field list), encode=<Method> decode=<Method>
+//	    (optional pair enabling field-coverage checking of the codec bodies).
 const (
 	VerbAllow    = "allow"
 	VerbWire     = "wire"
 	VerbHotpath  = "hotpath"
 	VerbLockIO   = "lockio"
 	VerbBlocking = "blocking"
+	VerbRNGPath  = "rngpath"
+	VerbCodec    = "codec"
 )
 
 // directivePrefix introduces every antlint directive comment.
@@ -67,6 +78,12 @@ type Directives struct {
 	// wire/hotpath/lockio/blocking markers to the declaration that follows
 	// (or shares) the directive's line.
 	marked map[string]map[lineKey]Directive
+	// dirLines marks every line holding an antlint directive comment:
+	// marker and allow coverage extends through a run of stacked directives
+	// (//antlint:codec above //antlint:wire above the struct) to the first
+	// non-directive line, so directives compose instead of shadowing each
+	// other.
+	dirLines map[lineKey]bool
 }
 
 // lineKey identifies one source line.
@@ -84,9 +101,20 @@ type lineKey struct {
 // verb report its placement errors themselves (see CheckMarkers).
 func ParseDirectives(pass *analysis.Pass, reportSyntax bool) *Directives {
 	d := &Directives{
-		fset:   pass.Fset,
-		allow:  make(map[string]map[lineKey]bool),
-		marked: make(map[string]map[lineKey]Directive),
+		fset:     pass.Fset,
+		allow:    make(map[string]map[lineKey]bool),
+		marked:   make(map[string]map[lineKey]Directive),
+		dirLines: make(map[lineKey]bool),
+	}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, directivePrefix) {
+					p := d.fset.Position(c.Pos())
+					d.dirLines[lineKey{p.Filename, p.Line}] = true
+				}
+			}
+		}
 	}
 	for _, file := range pass.Files {
 		for _, cg := range file.Comments {
@@ -107,11 +135,13 @@ func ParseDirectives(pass *analysis.Pass, reportSyntax bool) *Directives {
 				switch dir.Verb {
 				case VerbAllow:
 					d.addAllow(pass, dir, reportSyntax)
-				case VerbWire, VerbHotpath, VerbLockIO, VerbBlocking:
+				case VerbWire, VerbHotpath, VerbLockIO, VerbBlocking, VerbRNGPath:
 					d.addMarker(pass, dir, reportSyntax)
+				case VerbCodec:
+					d.addArgMarker(pass, dir, reportSyntax)
 				default:
 					if reportSyntax {
-						pass.Reportf(dir.Pos, "unknown antlint directive %q (known: allow, wire, hotpath, lockio, blocking)", dir.Verb)
+						pass.Reportf(dir.Pos, "unknown antlint directive %q (known: allow, wire, hotpath, lockio, blocking, rngpath, codec)", dir.Verb)
 					}
 				}
 			}
@@ -146,11 +176,26 @@ func (d *Directives) addAllow(pass *analysis.Pass, dir Directive, report bool) {
 		set = make(map[lineKey]bool)
 		d.allow[name] = set
 	}
-	p := d.fset.Position(dir.Pos)
 	// The suppression covers the directive's own line (trailing comment)
-	// and the next (directive on its own line above the construct).
-	set[lineKey{p.Filename, p.Line}] = true
-	set[lineKey{p.Filename, p.Line + 1}] = true
+	// and — skipping any stacked directives — the next code line (directive
+	// on its own line above the construct).
+	for _, line := range d.coveredLines(dir.Pos) {
+		set[lineKey{d.fset.Position(dir.Pos).Filename, line}] = true
+	}
+}
+
+// coveredLines returns the lines a directive at pos covers: its own line,
+// any immediately following directive lines, and the first non-directive
+// line after them.
+func (d *Directives) coveredLines(pos token.Pos) []int {
+	p := d.fset.Position(pos)
+	lines := []int{p.Line}
+	n := p.Line + 1
+	for d.dirLines[lineKey{p.Filename, n}] {
+		lines = append(lines, n)
+		n++
+	}
+	return append(lines, n)
 }
 
 // addMarker validates arity and indexes one marker directive by line.
@@ -161,13 +206,34 @@ func (d *Directives) addMarker(pass *analysis.Pass, dir Directive, report bool) 
 		}
 		return
 	}
+	d.indexMarker(pass, dir, report)
+}
+
+// addArgMarker indexes one marker directive that carries arguments (the
+// codec verb); argument *content* is validated by the owning analyzer, which
+// understands the key=value vocabulary, but a bare marker is rejected here —
+// a codec commitment with nothing committed protects nothing.
+func (d *Directives) addArgMarker(pass *analysis.Pass, dir Directive, report bool) {
+	if len(dir.Args) == 0 {
+		if report {
+			pass.Reportf(dir.Pos, "antlint:%s needs key=value arguments, e.g. //antlint:codec version=fooStateVersion fields=a,b", dir.Verb)
+		}
+		return
+	}
+	d.indexMarker(pass, dir, report)
+}
+
+// indexMarker registers a validated marker over its covered lines, rejecting
+// duplicates of the same verb on the same declaration.
+func (d *Directives) indexMarker(pass *analysis.Pass, dir Directive, report bool) {
 	set := d.marked[dir.Verb]
 	if set == nil {
 		set = make(map[lineKey]Directive)
 		d.marked[dir.Verb] = set
 	}
 	p := d.fset.Position(dir.Pos)
-	for _, line := range []int{p.Line, p.Line + 1} {
+	lines := d.coveredLines(dir.Pos)
+	for _, line := range lines {
 		if prev, dup := set[lineKey{p.Filename, line}]; dup {
 			// Two copies of one marker covering the same declaration: the
 			// second is at best noise and at worst a merge artifact.
@@ -177,8 +243,15 @@ func (d *Directives) addMarker(pass *analysis.Pass, dir Directive, report bool) 
 			return
 		}
 	}
-	set[lineKey{p.Filename, p.Line}] = dir
-	set[lineKey{p.Filename, p.Line + 1}] = dir
+	for _, line := range lines {
+		set[lineKey{p.Filename, line}] = dir
+	}
+}
+
+// MarkerDirective returns the full directive (arguments included) of the
+// given verb attached to node, for analyzers whose markers carry arguments.
+func (d *Directives) MarkerDirective(verb string, node ast.Node) (Directive, bool) {
+	return d.markerAt(verb, node.Pos())
 }
 
 // Allowed reports whether diagnostics of the named analyzer are suppressed
@@ -220,7 +293,16 @@ func (d *Directives) Marked(verb string, node ast.Node) bool {
 // it walks); the analyzer owning the verb calls this once per pass.
 func (d *Directives) CheckMarkers(pass *analysis.Pass, verb, wants string, attached map[token.Pos]bool) {
 	for _, dir := range d.all {
-		if dir.Verb != verb || len(dir.Args) > 0 {
+		if dir.Verb != verb {
+			continue
+		}
+		// Malformed markers (arguments on a no-arg verb, an argument-less
+		// codec) were already reported as syntax errors, not as misplaced.
+		if verb == VerbCodec {
+			if len(dir.Args) == 0 {
+				continue
+			}
+		} else if len(dir.Args) > 0 {
 			continue
 		}
 		if !attached[dir.Pos] {

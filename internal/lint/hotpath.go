@@ -40,6 +40,9 @@ var HotPath = &analysis.Analyzer{
 
 func runHotPath(pass *analysis.Pass) (any, error) {
 	dirs := ParseDirectives(pass, false)
+	// Export behavior facts for this package's functions (whether or not any
+	// is hot): downstream packages' hot bodies may call them.
+	ensureBehaviors(pass, dirs)
 	attached := make(map[token.Pos]bool)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -108,6 +111,20 @@ func checkHotCall(pass *analysis.Pass, report func(token.Pos, string, ...any), c
 			recv := s.Recv()
 			if _, isTypeParam := types.Unalias(recv).(*types.TypeParam); !isTypeParam && types.IsInterface(recv) {
 				report(call.Pos(), "interface method call %s.%s (dynamic dispatch on %s)", exprString(sel.X), sel.Sel.Name, recv)
+			}
+		}
+	}
+	// Transitive violations: a static callee — in this or any imported
+	// package — whose exported behavior fact says it allocates or dispatches.
+	// Callees that are themselves //antlint:hotpath-marked are certified at
+	// their definition and skipped here.
+	if callee := staticCallee(pass.TypesInfo, call); callee != nil && pass.ImportObjectFact != nil {
+		var fb FuncBehavior
+		if pass.ImportObjectFact(callee, &fb) && !fb.Marked {
+			if fb.Dispatches {
+				report(call.Pos(), "call of %s performs dynamic dispatch (%s); mark the callee //antlint:hotpath or keep it off the hot path", funcDisplayName(callee), fb.DispatchesVia)
+			} else if fb.Allocates {
+				report(call.Pos(), "call of %s allocates (%s); hoist the allocation out of the hot path or allow it with a reason", funcDisplayName(callee), fb.AllocatesVia)
 			}
 		}
 	}

@@ -160,12 +160,18 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, "", 0)
 }
 
-// ImportFrom implements types.ImporterFrom.
+// ImportFrom implements types.ImporterFrom. A package this loader has
+// already type-checked from source is always preferred over its export data:
+// `go list -deps` reports dependencies before dependents, so within one Load
+// call every module package sees its module imports as the same
+// *types.Package (and the same types.Objects) the analyzers see — the
+// object identity the fact store keys on. Export data remains the path for
+// everything else (the stdlib, chiefly).
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := l.imported[path]; ok {
+		return pkg, nil
+	}
 	if dir := l.srcDir(path); dir != "" {
-		if pkg, ok := l.imported[path]; ok {
-			return pkg, nil
-		}
 		p, err := l.loadDir(path, dir)
 		if err != nil {
 			return nil, err
@@ -226,6 +232,40 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// SortDeps orders pkgs so every package appears after the packages it
+// imports (directly or transitively) that are themselves in the slice — the
+// order a fact-propagating driver must analyze them in. Ties are broken by
+// import path, so the order is deterministic.
+func SortDeps(pkgs []*Package) []*Package {
+	byTypes := make(map[*types.Package]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byTypes[p.Types] = p
+	}
+	var out []*Package
+	visited := make(map[*types.Package]bool)
+	var visit func(t *types.Package)
+	visit = func(t *types.Package) {
+		if visited[t] {
+			return
+		}
+		visited[t] = true
+		imps := append([]*types.Package{}, t.Imports()...)
+		sort.Slice(imps, func(i, j int) bool { return imps[i].Path() < imps[j].Path() })
+		for _, imp := range imps {
+			visit(imp)
+		}
+		if p, ok := byTypes[t]; ok {
+			out = append(out, p)
+		}
+	}
+	roots := append([]*Package{}, pkgs...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Path < roots[j].Path })
+	for _, p := range roots {
+		visit(p.Types)
+	}
+	return out
 }
 
 // underModule reports whether dir sits inside the loader's module directory.

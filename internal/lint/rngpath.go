@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// RNGPath enforces the xrand path-tag namespace contract. Every trial is a
+// pure function of (scenario, params, seed) only because each subsystem
+// derives its randomness on a disjoint path: placement on 0xad5e, the trial
+// run seed on 0x51b, fault schedules on 0xfa17 (PR 8). Those tags are wire
+// commitments — change one and every golden pin and cached sweep shard goes
+// stale — so they must be named constants, declared once, in one registry
+// (internal/xrand/paths.go), where a collision is impossible to miss.
+//
+// Three rules:
+//
+//   - constants marked //antlint:rngpath must be integer constants declared
+//     in the registry package (the package named xrand), with pairwise
+//     distinct values; a second registry package is itself a finding;
+//   - every *constant* path argument to xrand.NewStream, xrand.DeriveSeed or
+//     Stream.Reset must resolve to a marked registry constant — a raw
+//     literal or an unregistered local constant is a finding (with a
+//     suggested fix when the value matches a registry entry);
+//   - non-constant path arguments (trial indices, agent ids) are exempt:
+//     the registry names namespaces, not every derived stream.
+var RNGPath = &analysis.Analyzer{
+	Name: "rngpath",
+	Doc: "xrand path tags must be distinct named constants in the single registry\n" +
+		"(internal/xrand); raw literals at stream-derivation sites are findings",
+	Run:       runRNGPath,
+	FactTypes: []analysis.Fact{(*RNGPathConst)(nil), (*RNGRegistry)(nil)},
+}
+
+// RNGPathConst is the object fact exported for each registry constant; the
+// call-site rule accepts exactly the constants carrying it.
+type RNGPathConst struct {
+	Value uint64
+}
+
+// AFact marks RNGPathConst as an analysis fact.
+func (*RNGPathConst) AFact() {}
+
+// RNGRegistry is the package fact exported by the registry package, listing
+// its entries; the single-registry rule and the suggested fixes consume it.
+type RNGRegistry struct {
+	Entries []RNGPathEntry
+}
+
+// RNGPathEntry is one registry constant.
+type RNGPathEntry struct {
+	Name  string
+	Value uint64
+}
+
+// AFact marks RNGRegistry as an analysis fact.
+func (*RNGRegistry) AFact() {}
+
+// rngRegistryPackage reports whether the import path names the path-tag
+// registry package: the module's internal/xrand, or any package whose last
+// element is xrand (which is what fixture registries look like).
+func rngRegistryPackage(path string) bool {
+	if i := lastSlash(path); i >= 0 {
+		path = path[i+1:]
+	}
+	return path == "xrand"
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// rngDeriveFuncs are the registry-package functions whose trailing variadic
+// arguments are path tags.
+var rngDeriveFuncs = map[string]bool{"NewStream": true, "DeriveSeed": true, "Reset": true}
+
+func runRNGPath(pass *analysis.Pass) (any, error) {
+	dirs := ParseDirectives(pass, false)
+	attached := make(map[token.Pos]bool)
+	isRegistry := rngRegistryPackage(pass.Pkg.Path())
+
+	// Pass 1: collect marked constants.
+	local := make(map[types.Object]uint64) // marked consts of this package
+	var entries []RNGPathEntry
+	byValue := make(map[uint64]string)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || !dirs.Marked(VerbRNGPath, vs) {
+					continue
+				}
+				dirs.Claim(VerbRNGPath, vs.Pos(), attached)
+				for _, name := range vs.Names {
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					var v uint64
+					exact := false
+					if obj.Val().Kind() == constant.Int {
+						v, exact = constant.Uint64Val(obj.Val())
+					}
+					if !exact {
+						if !dirs.Allowed(pass.Analyzer.Name, vs.Pos()) {
+							pass.Reportf(vs.Pos(), "antlint:rngpath constant %s is not an unsigned integer; path tags are uint64 stream-derivation words", name.Name)
+						}
+						continue
+					}
+					if !isRegistry {
+						if !dirs.Allowed(pass.Analyzer.Name, vs.Pos()) {
+							pass.Reportf(vs.Pos(), "rng path constant %s declared outside the xrand registry; every path tag lives in the single registry package", name.Name)
+						}
+						continue
+					}
+					if prev, dup := byValue[v]; dup {
+						if !dirs.Allowed(pass.Analyzer.Name, vs.Pos()) {
+							pass.Reportf(vs.Pos(), "rng path constant %s (%#x) collides with %s; path tags must be pairwise distinct", name.Name, v, prev)
+						}
+						continue
+					}
+					byValue[v] = name.Name
+					local[obj] = v
+					entries = append(entries, RNGPathEntry{Name: name.Name, Value: v})
+					if pass.ExportObjectFact != nil {
+						pass.ExportObjectFact(obj, &RNGPathConst{Value: v})
+					}
+				}
+			}
+		}
+	}
+	dirs.CheckMarkers(pass, VerbRNGPath, "a constant declaration", attached)
+
+	// Single-registry rule: if another package already exported a registry,
+	// this one is a duplicate namespace root.
+	if isRegistry && len(entries) > 0 && pass.AllPackageFacts != nil {
+		for _, pf := range pass.AllPackageFacts() {
+			reg, ok := pf.Fact.(*RNGRegistry)
+			if !ok || pf.Package == pass.Pkg {
+				continue
+			}
+			pass.Reportf(pass.Files[0].Name.Pos(), "package %s declares a second rng path registry (the registry is %s); all path tags live in one registry", pass.Pkg.Path(), pf.Package.Path())
+			for _, e := range entries {
+				for _, other := range reg.Entries {
+					if e.Value == other.Value {
+						pass.Reportf(pass.Files[0].Name.Pos(), "rng path constant %s (%#x) collides with %s.%s", e.Name, e.Value, pf.Package.Name(), other.Name)
+					}
+				}
+			}
+		}
+	}
+	if isRegistry && len(entries) > 0 && pass.ExportPackageFact != nil {
+		pass.ExportPackageFact(&RNGRegistry{Entries: entries})
+	}
+
+	// Pass 2: constant path arguments at derivation call sites must be
+	// registry constants.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || !rngDeriveFuncs[callee.Name()] || !rngRegistryPackage(callee.Pkg().Path()) {
+				return true
+			}
+			var registry *RNGRegistry
+			if callee.Pkg() == pass.Pkg {
+				registry = &RNGRegistry{Entries: entries}
+			} else if pass.ImportPackageFact != nil {
+				var reg RNGRegistry
+				if pass.ImportPackageFact(callee.Pkg(), &reg) {
+					registry = &reg
+				}
+			}
+			for i, arg := range call.Args {
+				if i == 0 {
+					continue // the base seed is not a path tag
+				}
+				checkPathArg(pass, dirs, file, callee.Pkg(), registry, local, arg)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkPathArg validates one constant path argument against the registry.
+func checkPathArg(pass *analysis.Pass, dirs *Directives, file *ast.File, registryPkg *types.Package, registry *RNGRegistry, local map[types.Object]uint64, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return // non-constant path components (trial, agent ids) are exempt
+	}
+	// A use of a registered constant is the sanctioned form.
+	switch e := astUnparen(arg).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			if _, ok := local[obj]; ok {
+				return
+			}
+			if pass.ImportObjectFact != nil && pass.ImportObjectFact(obj, &RNGPathConst{}) {
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil {
+			if _, ok := local[obj]; ok {
+				return
+			}
+			if pass.ImportObjectFact != nil && pass.ImportObjectFact(obj, &RNGPathConst{}) {
+				return
+			}
+		}
+	}
+	if dirs.Allowed(pass.Analyzer.Name, arg.Pos()) {
+		return
+	}
+	v, _ := constant.Uint64Val(tv.Value)
+	d := analysis.Diagnostic{
+		Pos:     arg.Pos(),
+		Message: fmt.Sprintf("rng path tag %#x is not a registry constant; declare it //antlint:rngpath in the xrand registry and name it here", v),
+	}
+	if registry != nil {
+		for _, e := range registry.Entries {
+			if e.Value == v {
+				if repl, ok := qualifiedConstRef(pass, file, registryPkg, e.Name); ok {
+					d.SuggestedFixes = []analysis.SuggestedFix{{
+						Message:   "replace the literal with the registry constant " + repl,
+						TextEdits: []analysis.TextEdit{{Pos: arg.Pos(), End: arg.End(), NewText: []byte(repl)}},
+					}}
+				}
+				break
+			}
+		}
+	}
+	pass.Report(d)
+}
+
+// qualifiedConstRef renders a reference to the registry constant name as the
+// file would write it: unqualified inside the registry package, otherwise
+// qualified by the file's import name for the registry (no fix if the file
+// does not import it).
+func qualifiedConstRef(pass *analysis.Pass, file *ast.File, registryPkg *types.Package, name string) (string, bool) {
+	if registryPkg == pass.Pkg {
+		return name, true
+	}
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != registryPkg.Path() {
+			continue
+		}
+		local := registryPkg.Name()
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local == "." {
+			return name, true
+		}
+		if local == "_" {
+			return "", false
+		}
+		return local + "." + name, true
+	}
+	return "", false
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"antsearch/internal/lint/analysis"
+)
+
+// StoreErr guards the durability tier's error discipline. The write-behind
+// cache and the checkpoint store are the only line between a crash and lost
+// sweep work, and their contract (DESIGN.md §11) is that every I/O failure is
+// either retried, counted in storeErrors, or joined into a returned error —
+// never silently dropped. The compiler cannot enforce that: Go makes
+// discarding an error a one-character habit (`_ =`, a bare call, a shadowed
+// `err :=`). Inside the guarded packages this analyzer forbids:
+//
+//   - calling a function that returns an error as a bare statement (defer
+//     and go included) — the result vanishes;
+//   - assigning an error to the blank identifier;
+//   - a `:=` that shadows the enclosing function's *named* error result
+//     outside an if/for/switch init clause — the classic bug where an inner
+//     err is checked locally (or not at all) while the outer named return
+//     silently stays nil.
+//
+// Deliberate discards — a read-only file's deferred Close, best-effort
+// orphan sweeping — carry //antlint:allow storeerr with a reason, which is
+// the audit trail the contract wants. Test files are exempt.
+var StoreErr = &analysis.Analyzer{
+	Name: "storeerr",
+	Doc: "persistence-path code (internal/cache) may not discard or shadow error\n" +
+		"returns; every I/O failure is retried, counted or propagated",
+	Run: runStoreErr,
+}
+
+// storeErrPackages are the import paths under the durability contract.
+var storeErrPackages = []string{"antsearch/internal/cache"}
+
+// storeErrGuarded reports whether the package is under the contract.
+func storeErrGuarded(path string) bool {
+	for _, p := range storeErrPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runStoreErr(pass *analysis.Pass) (any, error) {
+	dirs := ParseDirectives(pass, false)
+	if !storeErrGuarded(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkStoreFunc(pass, dirs, fn)
+		}
+	}
+	return nil, nil
+}
+
+// checkStoreFunc applies the three discard rules to one function body.
+func checkStoreFunc(pass *analysis.Pass, dirs *Directives, fn *ast.FuncDecl) {
+	report := func(pos ast.Node, format string, args ...any) {
+		if !dirs.Allowed(pass.Analyzer.Name, pos.Pos()) {
+			pass.Reportf(pos.Pos(), format, args...)
+		}
+	}
+	namedErrs := namedErrorResults(pass, fn)
+	inits := initStatements(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && callReturnsError(pass, call) {
+				report(n, "error result of %s is discarded; a persistence-path failure must be retried, counted or propagated", exprString(call.Fun))
+			}
+		case *ast.DeferStmt:
+			if callReturnsError(pass, n.Call) {
+				report(n, "deferred %s discards its error result; check it on the exit path or allow the discard with a reason", exprString(n.Call.Fun))
+			}
+		case *ast.GoStmt:
+			if callReturnsError(pass, n.Call) {
+				report(n, "go %s discards its error result; route the failure back through a channel or counter", exprString(n.Call.Fun))
+			}
+		case *ast.AssignStmt:
+			checkStoreAssign(pass, report, n, fn.Name.Name, namedErrs, inits)
+		}
+		return true
+	})
+}
+
+// checkStoreAssign applies the blank-discard and named-return-shadow rules
+// to one assignment.
+func checkStoreAssign(pass *analysis.Pass, report func(ast.Node, string, ...any), n *ast.AssignStmt, fnName string, namedErrs map[string]bool, inits map[ast.Stmt]bool) {
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			if t := assignedType(pass, n, i); t != nil && isErrorType(t) {
+				report(id, "error assigned to the blank identifier; a persistence-path failure must be retried, counted or propagated")
+			}
+			continue
+		}
+		// Shadow rule: a := introducing a new object with the name of a
+		// named error result, outside an if/for/switch init.
+		if n.Tok != token.DEFINE || !namedErrs[id.Name] || inits[n] {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil || !isErrorType(obj.Type()) {
+			continue
+		}
+		report(id, "%s shadows the named error return of %s outside an if/for init; assign with = so the failure propagates, or rename the local", id.Name, fnName)
+	}
+}
+
+// namedErrorResults collects the names of fn's named error-typed results.
+func namedErrorResults(pass *analysis.Pass, fn *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	if fn.Type.Results == nil {
+		return out
+	}
+	for _, f := range fn.Type.Results.List {
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isErrorType(obj.Type()) && name.Name != "_" {
+				out[name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// initStatements collects the statements that are init clauses of if, for,
+// switch and type-switch statements — the scoped, immediately-checked form
+// the shadow rule permits.
+func initStatements(body *ast.BlockStmt) map[ast.Stmt]bool {
+	inits := make(map[ast.Stmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				inits[n.Init] = true
+			}
+		case *ast.ForStmt:
+			if n.Init != nil {
+				inits[n.Init] = true
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				inits[n.Init] = true
+			}
+		case *ast.TypeSwitchStmt:
+			if n.Init != nil {
+				inits[n.Init] = true
+			}
+		}
+		return true
+	})
+	return inits
+}
+
+// callReturnsError reports whether the call's (last) result is error-typed.
+func callReturnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.Types[call].Type
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+// assignedType resolves the type assigned to position i of a (possibly
+// multi-value) assignment.
+func assignedType(pass *analysis.Pass, n *ast.AssignStmt, i int) types.Type {
+	if len(n.Rhs) == len(n.Lhs) {
+		return pass.TypesInfo.Types[n.Rhs[i]].Type
+	}
+	if len(n.Rhs) == 1 {
+		if tuple, ok := pass.TypesInfo.Types[n.Rhs[0]].Type.(*types.Tuple); ok && i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

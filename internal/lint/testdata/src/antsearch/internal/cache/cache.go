@@ -1,0 +1,53 @@
+// Package cache is the storeerr fixture. It sits on the guarded import path
+// (antsearch/internal/cache), so discarding or shadowing an error here is a
+// finding unless a reasoned //antlint:allow storeerr records the discard as
+// deliberate.
+package cache
+
+import "errors"
+
+// flush stands in for a persistence operation that can fail.
+func flush() error { return errors.New("disk full") }
+
+// count returns no error; discarding its result is fine.
+func count() int { return 0 }
+
+// BareDiscard drops the error of a bare call, a defer and a go statement.
+func BareDiscard() {
+	flush()                         // want `error result of flush is discarded; a persistence-path failure must be retried, counted or propagated`
+	defer flush()                   // want `deferred flush discards its error result; check it on the exit path or allow the discard with a reason`
+	go flush()                      // want `go flush discards its error result; route the failure back through a channel or counter`
+	count()                         // no error result: fine
+	_ = count()                     // non-error blank assign: fine
+	if err := flush(); err != nil { // captured and checked: fine
+		return
+	}
+}
+
+// BlankDiscard assigns the error to the blank identifier.
+func BlankDiscard() {
+	_ = flush() // want `error assigned to the blank identifier; a persistence-path failure must be retried, counted or propagated`
+}
+
+// Shadow re-declares the named error return in the body, the classic bug
+// where the outer err silently stays nil.
+func Shadow() (err error) {
+	err = flush()
+	if err != nil {
+		err := flush() // want `err shadows the named error return of Shadow outside an if/for init; assign with = so the failure propagates, or rename the local`
+		if err != nil {
+			return err
+		}
+	}
+	if err := flush(); err != nil { // if-init shadow: scoped and checked, fine
+		return err
+	}
+	return err
+}
+
+// Allowed carries the audit trail the contract wants.
+func Allowed() {
+	flush()       //antlint:allow storeerr best-effort flush pinned by this fixture
+	defer flush() //antlint:allow storeerr read-only handle stand-in
+	_ = flush()   //antlint:allow storeerr deliberate discard with a reason
+}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	crand "crypto/rand" //antlint:allow detrand fixture exercises the audited suppression path
+
+	"clockhelper"
 )
 
 // Reader keeps the allowed crypto/rand import referenced.
@@ -29,4 +31,14 @@ func Age(t0 time.Time) time.Duration {
 // reading the clock is not.
 func Stamp(t0 time.Time) string {
 	return t0.Format(time.RFC3339)
+}
+
+// Transitive proves the fact layer: the clock reads happen two packages away
+// in an unguarded helper, and the imported behavior facts surface them here.
+func Transitive() int64 {
+	a := clockhelper.Stamp()   // want `call of clockhelper\.Stamp reads the wall clock \(time\.Now call\) in deterministic engine package antsearch/internal/sim`
+	b := clockhelper.Relabel() // want `call of clockhelper\.Relabel reads the wall clock \(calls clockhelper\.Stamp\) in deterministic engine package antsearch/internal/sim`
+	c := clockhelper.Pure(7)   // clock-free helper: fine
+	d := clockhelper.Stamp()   //antlint:allow detrand fixture exercises the audited suppression path
+	return a + b + c + d
 }

@@ -1,0 +1,22 @@
+// Package clockhelper is an UNGUARDED package whose functions read the wall
+// clock. Its import path is not on the detrand list, so nothing here is a
+// finding — but the behavior facts exported for these functions make calls
+// from guarded packages findings at the call site (see the sim fixture).
+package clockhelper
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Relabel reads it transitively, through Stamp.
+func Relabel() int64 {
+	return Stamp() + 1
+}
+
+// Pure is clock-free; guarded callers may use it.
+func Pure(x int64) int64 {
+	return x * 3
+}

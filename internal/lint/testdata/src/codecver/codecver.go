@@ -1,0 +1,105 @@
+// Package codecver exercises the versioned-codec contract: the committed
+// field list must match the declaration, the version constant must exist and
+// be referenced by both codec bodies, and every committed field must be
+// handled by encode AND decode.
+package codecver
+
+const goodVersion = 3
+const driftVersion = 1
+const missVersion = 2
+
+// Good keeps all three commitments: fields match, both codecs touch every
+// field and reference the version constant.
+//
+//antlint:codec version=goodVersion fields=a,b encode=enc decode=dec
+type Good struct {
+	a int
+	b float64
+}
+
+func (g *Good) enc(buf []byte) []byte {
+	buf = append(buf, byte(goodVersion), byte(g.a))
+	if g.b > 0 {
+		buf = append(buf, 1)
+	}
+	return buf
+}
+
+func (g *Good) dec(buf []byte) bool {
+	if len(buf) < 2 || buf[0] != byte(goodVersion) {
+		return false
+	}
+	g.a = int(buf[1])
+	g.b = 0
+	return true
+}
+
+// Drift committed one field but declares two: the drift is the finding, and
+// the message demands the list update and the version bump travel together.
+//
+//antlint:codec version=driftVersion fields=a
+type Drift struct { // want `codec struct Drift: field set changed \(committed fields=a, actual a,b\); update the fields= list and bump driftVersion in the same change`
+	a int
+	b int
+}
+
+var _ = Drift{a: driftVersion, b: 0}
+
+// Miss has a complete commitment but broken coverage: enc forgets field b,
+// dec never checks the version constant.
+//
+//antlint:codec version=missVersion fields=a,b encode=encM decode=decM
+type Miss struct {
+	a int
+	b int
+}
+
+func (m *Miss) encM(buf []byte) []byte { // want `codec struct Miss: field b is not handled by encode method encM`
+	return append(buf, byte(missVersion), byte(m.a))
+}
+
+func (m *Miss) decM(buf []byte) bool { // want `codec struct Miss: decode method decM never references missVersion`
+	if len(buf) < 2 {
+		return false
+	}
+	m.a = int(buf[1])
+	m.b = int(buf[0])
+	return true
+}
+
+// BadVer names a version constant that does not exist.
+//
+//antlint:codec version=NoSuch fields=x
+type BadVer struct{ x int } // want[-1] `codec struct BadVer: version constant NoSuch is not a package-level integer constant`
+
+var _ = BadVer{x: 1}
+
+// HalfPair gives encode= without decode=: the pair is all or nothing.
+//
+//antlint:codec version=goodVersion fields=a encode=only
+type HalfPair struct{ a int } // want[-1] `antlint:codec needs encode= and decode= together \(or neither, for reflectively encoded structs\)`
+
+var _ = HalfPair{a: 1}
+
+//antlint:codec version=goodVersion fields=a
+type NotAStruct int // want `antlint:codec marks NotAStruct, which is not a struct type`
+
+// Dangling is a codec marker attached to nothing checkable.
+//
+//antlint:codec version=goodVersion fields=a
+var dangling int // want[-1] `antlint:codec marker is not attached to a struct type declaration`
+
+var _ = dangling
+var _ NotAStruct
+
+// AllowedDrift drifts deliberately; the stacked allow suppresses the finding
+// and proves directives compose instead of shadowing each other.
+//
+//antlint:allow codecver fixture pins the audited suppression path
+//antlint:codec version=goodVersion fields=a
+type AllowedDrift struct {
+	a int
+	b int
+}
+
+var _ = AllowedDrift{a: 1, b: 2}

@@ -9,7 +9,7 @@ package directives
 // want[-1] `malformed antlint directive: missing verb`
 
 //antlint:nonsense
-// want[-1] `unknown antlint directive "nonsense" \(known: allow, wire, hotpath, lockio, blocking\)`
+// want[-1] `unknown antlint directive "nonsense" \(known: allow, wire, hotpath, lockio, blocking, rngpath, codec\)`
 
 //antlint:allow
 // want[-1] `antlint:allow needs an analyzer name and a reason`
@@ -18,7 +18,13 @@ package directives
 // want[-1] `antlint:allow detrand needs a reason: an unexplained suppression cannot be audited`
 
 //antlint:allow bogus because reasons
-// want[-1] `antlint:allow targets unknown analyzer "bogus" \(known: detrand, maporder, wiretag, hotpath, lockio\)`
+// want[-1] `antlint:allow targets unknown analyzer "bogus" \(known: detrand, maporder, wiretag, hotpath, lockio, rngpath, codecver, storeerr\)`
+
+//antlint:codec
+// want[-1] `antlint:codec needs key=value arguments`
+
+//antlint:rngpath extra
+// want[-1] `antlint:rngpath takes no arguments`
 
 //antlint:wire json
 // want[-1] `antlint:wire takes no arguments`

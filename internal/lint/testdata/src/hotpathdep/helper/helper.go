@@ -1,0 +1,40 @@
+// Package helper is the dependency side of the cross-package hotpath
+// fixture: its functions carry behavior facts (allocates, dispatches) that
+// the hot package imports. Nothing here is a finding — the package has no
+// hot functions — the findings appear at the call sites in hotpathdep/hot.
+package helper
+
+import "fmt"
+
+// Alloc allocates directly: fmt.Errorf formats and boxes.
+func Alloc(x int) error {
+	return fmt.Errorf("x=%d", x)
+}
+
+// Indirect allocates only transitively, through Alloc — the intra-package
+// fixpoint must carry the bit here before the fact is exported.
+func Indirect(x int) error {
+	return Alloc(x)
+}
+
+type doer interface{ Do() }
+
+// Dispatch performs dynamic dispatch on its interface argument.
+func Dispatch(d doer) {
+	if d != nil {
+		d.Do()
+	}
+}
+
+// Clean is behavior-free; calling it from a hot body is fine.
+func Clean(x int) int {
+	return x + 1
+}
+
+// Certified is hotpath-marked: it is checked at this definition, so callers
+// treat it as certified and the fact layer never flags calls to it.
+//
+//antlint:hotpath
+func Certified(x int) int {
+	return x * 2
+}

@@ -1,0 +1,36 @@
+// Package hot proves the tentpole: a //antlint:hotpath body reaching an
+// allocation or a dispatch through a callee in ANOTHER package is a finding
+// at the call site, carried by the imported FuncBehavior facts. The
+// pre-fact-layer suite saw only this body's own constructs and reported
+// nothing here.
+package hot
+
+import "hotpathdep/helper"
+
+// localAlloc allocates transitively through the imported helper; the
+// intra-package fixpoint folds the imported fact into this summary.
+func localAlloc() error {
+	return helper.Alloc(1)
+}
+
+//antlint:hotpath
+func Kernel(x int) int {
+	x = helper.Clean(x)     // behavior-free callee: fine
+	x = helper.Certified(x) // hotpath-marked callee: certified at its definition
+	if x < 0 {
+		_ = helper.Alloc(x) // want `call of helper.Alloc allocates \(fmt.Errorf call\)`
+	}
+	if x > 100 {
+		_ = helper.Indirect(x) // want `call of helper.Indirect allocates \(calls helper.Alloc\)`
+	}
+	helper.Dispatch(nil) // want `call of helper.Dispatch performs dynamic dispatch \(interface call d.Do\)`
+	if x == 7 {
+		_ = helper.Alloc(x) //antlint:allow hotpath sanctioned cold error path in this fixture
+	}
+	return x
+}
+
+//antlint:hotpath
+func Kernel2() {
+	_ = localAlloc() // want `call of hot.localAlloc allocates \(calls helper.Alloc\)`
+}

@@ -1,0 +1,22 @@
+// Package user exercises the rngpath call-site rule from outside the
+// registry: constant path arguments to the derivation functions must resolve
+// to registry constants (fact-imported across the package boundary), while
+// non-constant stream indices stay exempt.
+package user
+
+import "rngtest/xrand"
+
+//antlint:rngpath
+const PathLocal uint64 = 0xcc // want `rng path constant PathLocal declared outside the xrand registry`
+
+// Derive runs every call-site shape past the analyzer.
+func Derive(seed, trial uint64) uint64 {
+	s := xrand.NewStream(seed, xrand.PathAlpha) // registry constant: sanctioned
+	s.Reset(seed, xrand.PathBeta, trial)        // trailing non-constant index: exempt
+	a := xrand.DeriveSeed(seed, 0xa1)           // want `rng path tag 0xa1 is not a registry constant`
+	b := xrand.DeriveSeed(seed, 0x99)           // want `rng path tag 0x99 is not a registry constant`
+	c := xrand.DeriveSeed(seed, PathLocal)      // want `rng path tag 0xcc is not a registry constant`
+	d := xrand.DeriveSeed(seed, 0xdd)           //antlint:allow rngpath migration shim pinned by this fixture
+	_ = s
+	return a + b + c + d
+}

@@ -1,0 +1,42 @@
+// Package xrand is the registry fixture: its import path ends in xrand, so
+// rngpath treats it as the single path-tag registry. It seeds the in-registry
+// violations (a value collision, a non-integer tag) alongside the healthy
+// entries the user package resolves against.
+package xrand
+
+// PathAlpha is a healthy registry entry.
+//
+//antlint:rngpath
+const PathAlpha uint64 = 0xa1
+
+// PathBeta is a second healthy entry.
+//
+//antlint:rngpath
+const PathBeta uint64 = 0xb2
+
+//antlint:rngpath
+const PathDup uint64 = 0xa1 // want `rng path constant PathDup \(0xa1\) collides with PathAlpha; path tags must be pairwise distinct`
+
+//antlint:rngpath
+const PathText = "nope" // want `antlint:rngpath constant PathText is not an unsigned integer`
+
+// Stream is a minimal stand-in for the real xrand.Stream.
+type Stream struct{ seed uint64 }
+
+// NewStream mixes the seed with the path tags.
+func NewStream(seed uint64, path ...uint64) *Stream {
+	return &Stream{seed: DeriveSeed(seed, path...)}
+}
+
+// DeriveSeed folds the path tags into the seed.
+func DeriveSeed(seed uint64, path ...uint64) uint64 {
+	for _, p := range path {
+		seed = seed*0x9e3779b97f4a7c15 + p
+	}
+	return seed
+}
+
+// Reset re-derives the stream in place.
+func (s *Stream) Reset(seed uint64, path ...uint64) {
+	s.seed = DeriveSeed(seed, path...)
+}

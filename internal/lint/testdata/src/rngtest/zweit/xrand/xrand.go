@@ -1,0 +1,9 @@
+// This fixture declares a SECOND registry package (its path also ends in
+// xrand): the single-registry rule must flag the package itself and any
+// value collisions with the first registry's entries.
+package xrand // want `package rngtest/zweit/xrand declares a second rng path registry \(the registry is rngtest/xrand\)` `rng path constant PathZwei \(0xa1\) collides with xrand.PathAlpha`
+
+// PathZwei collides with rngtest/xrand.PathAlpha.
+//
+//antlint:rngpath
+const PathZwei uint64 = 0xa1

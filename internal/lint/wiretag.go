@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -104,7 +105,19 @@ func checkWireStruct(pass *analysis.Pass, dirs *Directives, name string, st *ast
 		if len(field.Names) > 0 {
 			fieldName = field.Names[0].Name
 		}
-		pass.Reportf(field.Pos(), "wire struct %s: field %s carries omitempty but is not a pointer, so a legal zero value vanishes from the encoding; drop omitempty or make absence explicit", name, fieldName)
+		d := analysis.Diagnostic{
+			Pos:     field.Pos(),
+			Message: fmt.Sprintf("wire struct %s: field %s carries omitempty but is not a pointer, so a legal zero value vanishes from the encoding; drop omitempty or make absence explicit", name, fieldName),
+		}
+		fixed := strings.Replace(field.Tag.Value, ",omitempty", "", 1)
+		fixed = strings.Replace(fixed, ",omitzero", "", 1)
+		if fixed != field.Tag.Value {
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message:   "drop omitempty from the json tag",
+				TextEdits: []analysis.TextEdit{{Pos: field.Tag.Pos(), End: field.Tag.End(), NewText: []byte(fixed)}},
+			}}
+		}
+		pass.Report(d)
 	}
 }
 

@@ -176,6 +176,8 @@ func (s TrialStats) LowerBound() float64 {
 // bounded memory. Accumulators merge deterministically (Merge), which is how
 // the sweep engine combines per-shard partial aggregates. The zero value is
 // not usable; construct with NewTrialAccumulator.
+//
+//antlint:codec version=trialAccumulatorStateVersion fields=numAgents,distance,trials,found,capped,time,allTime,ratio,survivors,survivorRatio,times,foundTimes encode=MarshalBinary decode=UnmarshalBinary
 type TrialAccumulator struct {
 	numAgents int
 	distance  int
@@ -353,7 +355,7 @@ func planShards(trials, workers int) int {
 // derived from the base seed and the trial index alone, so any sharding of
 // the trial range reproduces identical per-trial results.
 func runTrial(cfg TrialConfig, alg agent.Algorithm, trial int) (Result, error) {
-	placeRNG := xrand.NewStream(cfg.Seed, 0xad5e, uint64(trial))
+	placeRNG := xrand.NewStream(cfg.Seed, xrand.PathPlacement, uint64(trial))
 	treasure := cfg.Adversary.Place(trial, placeRNG)
 	inst := Instance{
 		Algorithm: alg,
@@ -362,7 +364,7 @@ func runTrial(cfg TrialConfig, alg agent.Algorithm, trial int) (Result, error) {
 		Faults:    cfg.Faults,
 	}
 	return Run(inst, Options{
-		Seed:    xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial)),
+		Seed:    xrand.DeriveSeed(cfg.Seed, xrand.PathTrial, uint64(trial)),
 		MaxTime: cfg.MaxTime,
 	})
 }
@@ -398,9 +400,9 @@ func runShard(ctx context.Context, cfg TrialConfig, alg agent.Algorithm, lo, hi 
 			// between trials, not only between shards.
 			return nil, err
 		}
-		e.placeRNG.Reset(cfg.Seed, 0xad5e, uint64(trial))
+		e.placeRNG.Reset(cfg.Seed, xrand.PathPlacement, uint64(trial))
 		inst.Treasure = cfg.Adversary.Place(trial, &e.placeRNG)
-		opts.Seed = xrand.DeriveSeed(cfg.Seed, 0x51b, uint64(trial))
+		opts.Seed = xrand.DeriveSeed(cfg.Seed, xrand.PathTrial, uint64(trial))
 		r, err := e.runAnalytic(inst, opts, reuser)
 		if err != nil {
 			return nil, err

@@ -58,7 +58,8 @@ type Instance struct {
 	Treasure grid.Point
 	// Faults, when non-nil and non-zero, subjects the agents to the fault
 	// model: each agent draws its fail-stop/fail-stall schedule from a
-	// dedicated stream derived from (Options.Seed, faultTag, agent index), so
+	// dedicated stream derived from (Options.Seed, xrand.PathFault, agent
+	// index), so
 	// a fault-free instance consumes no fault randomness and stays
 	// bit-identical to runs that predate the fault model.
 	Faults *fault.Plan
@@ -87,11 +88,6 @@ func (in Instance) Validate() error {
 func (in Instance) faulty() bool {
 	return in.Faults != nil && !in.Faults.IsZero()
 }
-
-// faultTag is the xrand path tag of the per-agent fault-schedule streams,
-// disjoint from the agent-behaviour streams (path = agent index alone) and
-// the treasure-placement stream (tag 0xad5e at the trial level).
-const faultTag = 0xfa17
 
 // noFault mirrors fault.None locally: the sentinel time of an event that
 // never fires, larger than every reachable simulated time.
@@ -363,7 +359,7 @@ func (e *engine) reset(in Instance, opts Options, reuser agent.SearcherReuser) {
 			// A dedicated stream per (trial, agent): the agent-behaviour
 			// stream below stays untouched, so a plan with zero effective
 			// draws still changes nothing about the trajectory.
-			e.faultRNG.Reset(opts.Seed, faultTag, uint64(a))
+			e.faultRNG.Reset(opts.Seed, xrand.PathFault, uint64(a))
 			sched := in.Faults.Draw(&e.faultRNG)
 			st.crashAt = sched.CrashAt
 			st.stallAt = sched.StallAt
@@ -486,13 +482,13 @@ func (e *engine) runAnalytic(in Instance, opts Options, reuser agent.SearcherReu
 //
 //antlint:hotpath
 func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.SearcherReuser, adv A) (Result, error) {
-	if err := in.Validate(); err != nil {
+	if err := in.Validate(); err != nil { //antlint:allow hotpath validation runs once before the loop and allocates only when rejecting the input
 		return Result{}, err
 	}
 	timeCap := opts.maxTime()
 	res := initialResult(in, timeCap)
 
-	e.reset(in, opts, reuser)
+	e.reset(in, opts, reuser) //antlint:allow hotpath per-run setup, not per-step: the one ReuseSearcher dispatch happens before the loop
 	best := timeCap
 	for len(e.heap) > 0 {
 		st := &e.agents[e.heap[0].idx]
@@ -528,7 +524,7 @@ func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.Sear
 			if err != nil {
 				// Includes ErrNoProgress: the zero-streak guard lives in the
 				// advance leaves, which see segment durations for free.
-				return Result{}, agentError(st.idx, err)
+				return Result{}, agentError(st.idx, err) //antlint:allow hotpath error exit aborts the run; the cold helper may allocate
 			}
 			if outcome.hit >= 0 && (outcome.hit < best || (outcome.hit == best && !res.Found)) {
 				best = outcome.hit
@@ -581,7 +577,7 @@ func runLoop[A advancer](e *engine, in Instance, opts Options, reuser agent.Sear
 func (st *agentState) scanSeg(seg trajectory.Seg, treasure grid.Point, budget int) (stepOutcome, error) {
 	start, end, duration, off, found := seg.Scan(treasure)
 	if start != st.pos {
-		return stepOutcome{}, discontinuityError(seg, start, st.pos)
+		return stepOutcome{}, discontinuityError(seg, start, st.pos) //antlint:allow hotpath error exit aborts the run; the cold helper may allocate
 	}
 	if st.nextFaultAt-st.elapsed <= duration {
 		// Some fault fires within this segment's time window (nextFaultAt >=

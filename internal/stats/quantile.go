@@ -139,6 +139,8 @@ func (p *P2) Value() float64 {
 // order always produces the same state, and merging exact-mode sketches whose
 // total stays under the cap is equivalent to observing the concatenated
 // samples. The zero value is not usable; construct with NewSketch.
+//
+//antlint:codec version=sketchStateVersion fields=cap,tracked,samples,est,n,min,max encode=AppendBinary decode=DecodeBinary
 type Sketch struct {
 	cap     int
 	tracked []float64

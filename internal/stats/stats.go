@@ -28,6 +28,8 @@ const MergeReplayCap = DefaultSketchCap
 // to a single accumulator, whatever the partition boundaries (the property
 // the sweep engine's shard planner relies on; see
 // TestAccumulatorPartitionInvariance).
+//
+//antlint:codec version=accumulatorStateVersion fields=n,mean,m2,min,max,log,noReplay encode=AppendBinary decode=DecodeBinary
 type Accumulator struct {
 	n    int
 	mean float64

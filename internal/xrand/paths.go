@@ -1,0 +1,37 @@
+// This file is the RNG path-tag registry: the single place a subsystem
+// claims a namespace in the seed-derivation tree. Every stream in the engine
+// is derived as DeriveSeed(experimentSeed, tag, indices...), and the whole
+// determinism story — the sweep cache, golden pins, cross-worker
+// bit-identity, fault/placement/walk independence — rests on those tags
+// being pairwise distinct. Declaring them side by side makes a collision
+// impossible to miss, and the rngpath analyzer enforces the rest: a path
+// tag spelled as a raw literal anywhere in the module, or a tagged constant
+// declared outside this file's package, is a finding.
+//
+// The values are wire commitments, not arbitrary: they are baked into every
+// persisted cache entry, checkpoint and golden fixture. Never renumber an
+// existing tag; claim a fresh value for new subsystems.
+
+package xrand
+
+const (
+	// PathPlacement derives the per-trial treasure-placement stream:
+	// (seed, PathPlacement, trial).
+	//
+	//antlint:rngpath
+	PathPlacement uint64 = 0xad5e
+
+	// PathTrial derives the per-trial run seed handed to Engine.Run, from
+	// which the per-agent walk streams descend: (seed, PathTrial, trial).
+	//
+	//antlint:rngpath
+	PathTrial uint64 = 0x51b
+
+	// PathFault derives the per-agent fault-schedule streams:
+	// (runSeed, PathFault, agent). Disjoint from the agent walk streams,
+	// which derive from (runSeed, agent) with no tag, and from the
+	// trial-level tags above (PR 8).
+	//
+	//antlint:rngpath
+	PathFault uint64 = 0xfa17
+)
